@@ -1,0 +1,71 @@
+"""F10 (ablation) — Partitioning benefit vs. per-partition overhead.
+
+The design-choice ablation DESIGN.md calls out: the tail-latency win of
+partitioning depends on the per-partition overhead α.  We sweep α from
+zero to many times the calibrated value and report the p99 at P=1 vs
+P=8.  Shape: with small α partitioning is a large win; as α approaches
+the per-query demand the win erodes and eventually inverts.
+"""
+
+from dataclasses import replace
+
+from repro.core.partitioning import run_partitioning_sweep
+from repro.core.reporting import format_series
+from repro.servers.catalog import BIG_SERVER
+
+ALPHA_SCALES = [0.0, 1.0, 4.0, 16.0, 64.0]
+
+
+def test_fig10_overhead_ablation(benchmark, demand_model, cost_model, emit):
+    capacity_qps = BIG_SERVER.compute_capacity / cost_model.total_work(
+        demand_model.mean_demand()
+    )
+    rate = 0.25 * capacity_qps
+    base_alpha = cost_model.partition_overhead
+
+    def sweep():
+        rows = []
+        for scale in ALPHA_SCALES:
+            model = replace(
+                cost_model, partition_overhead=base_alpha * scale
+            )
+            points = run_partitioning_sweep(
+                BIG_SERVER,
+                demand_model,
+                [1, 8],
+                rate,
+                cost_model=model,
+                num_queries=6_000,
+                seed=0,
+            )
+            rows.append(
+                (scale, points[0].summary.p99, points[1].summary.p99)
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    emit(
+        "fig10_overhead_ablation",
+        format_series(
+            f"F10: p99 vs per-partition overhead (alpha_0={base_alpha*1000:.2f} ms)",
+            "alpha_scale",
+            [row[0] for row in rows],
+            [
+                ("p99_P1_ms", [row[1] * 1000 for row in rows]),
+                ("p99_P8_ms", [row[2] * 1000 for row in rows]),
+                (
+                    "speedup_P8",
+                    [row[1] / row[2] for row in rows],
+                ),
+            ],
+        ),
+    )
+
+    speedups = [row[1] / row[2] for row in rows]
+    # Zero overhead: near-ideal tail win from partitioning.
+    assert speedups[0] > 1.5
+    # The win decays monotonically-ish as overhead grows...
+    assert speedups[-1] < speedups[0]
+    # ...and at extreme overhead partitioning stops helping.
+    assert speedups[-1] < 1.1

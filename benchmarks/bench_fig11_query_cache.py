@@ -1,0 +1,79 @@
+"""F11 (extension) — Result caching: hit rates and latency effect.
+
+Characterizes the benchmark's front-end result cache: (a) LRU hit rate
+vs. cache capacity under the log's Zipfian popularity, (b) the latency
+distribution at fixed load with and without the cache.  Shape: a cache
+holding a few percent of the unique queries already absorbs a large
+traffic share; the mean latency collapses with the hit rate while the
+p99 — made of the long, missing queries — barely moves.  Caching
+complements partitioning; it does not replace it.
+"""
+
+from repro.cluster.simulation import ClusterConfig
+from repro.core.caching import caching_latency_study, hit_rate_vs_capacity
+from repro.core.reporting import format_series, format_table
+from repro.servers.catalog import BIG_SERVER
+
+CAPACITIES = [10, 30, 100, 300, 1_000]
+LATENCY_CAPACITIES = [0, 100, 1_000]
+
+
+def test_fig11_query_cache(
+    benchmark, service, demand_model, cost_model, emit
+):
+    hit_rates = benchmark.pedantic(
+        hit_rate_vs_capacity,
+        args=(service.query_log, CAPACITIES),
+        kwargs={"num_queries": 30_000, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+
+    capacity_qps = BIG_SERVER.compute_capacity / cost_model.total_work(
+        demand_model.mean_demand()
+    )
+    points = caching_latency_study(
+        ClusterConfig(spec=BIG_SERVER, partitioning=cost_model),
+        demand_model,
+        cache_capacities=LATENCY_CAPACITIES,
+        rate_qps=0.4 * capacity_qps,
+        num_queries=6_000,
+        seed=0,
+    )
+
+    emit(
+        "fig11_query_cache",
+        format_series(
+            "F11a: LRU hit rate vs cache capacity "
+            f"({len(service.query_log)} unique queries)",
+            "capacity",
+            CAPACITIES,
+            [("hit_rate", hit_rates)],
+        )
+        + "\n\n"
+        + format_table(
+            ["capacity", "hit_rate", "mean_ms", "p50_ms", "p99_ms", "util"],
+            [
+                [
+                    point.cache_capacity,
+                    point.hit_rate,
+                    point.summary.mean * 1000,
+                    point.summary.p50 * 1000,
+                    point.summary.p99 * 1000,
+                    point.utilization,
+                ]
+                for point in points
+            ],
+            title="F11b: latency at fixed load, with/without result cache",
+        ),
+    )
+
+    # Shape: hit rate grows (concavely) with capacity.
+    assert hit_rates == sorted(hit_rates)
+    assert hit_rates[1] > 0.15  # 3% of uniques -> outsize traffic share
+    # Shape: cache cuts the mean more than the tail.
+    uncached, *cached = points
+    assert cached[-1].summary.mean < 0.7 * uncached.summary.mean
+    mean_cut = uncached.summary.mean / cached[-1].summary.mean
+    p99_cut = uncached.summary.p99 / cached[-1].summary.p99
+    assert mean_cut > p99_cut

@@ -1,0 +1,73 @@
+"""F12 (extension) — Cluster fan-out: sharding speedup and tail at scale.
+
+Shards the collection across N index serving nodes behind a broker
+that waits for the slowest node.  Shape: latency falls with N but the
+sharding efficiency (speedup/N) decays, and the fan-out skew grows as
+a fraction of the remaining latency — the "tail at scale" effect that
+motivates hedged requests and replica selection in production search.
+"""
+
+from repro.cluster.server import PartitionModelConfig
+from repro.core.fanout import fanout_scaling_study
+from repro.core.reporting import format_series
+from repro.servers.catalog import BIG_SERVER
+from repro.sim.network import LognormalDelay
+
+SERVERS = [1, 2, 4, 8, 16, 32]
+
+
+def test_fig12_cluster_fanout(benchmark, demand_model, cost_model, emit):
+    partitioning = PartitionModelConfig(
+        num_partitions=1,
+        partition_overhead=cost_model.partition_overhead,
+        merge_base=cost_model.merge_base,
+        merge_per_partition=cost_model.merge_per_partition,
+    )
+
+    points = benchmark.pedantic(
+        fanout_scaling_study,
+        args=(BIG_SERVER, demand_model, SERVERS, 40.0),
+        kwargs={
+            "partitioning": partitioning,
+            "network": LognormalDelay(median=0.0003, sigma=0.4),
+            "num_queries": 6_000,
+            "seed": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    base_p50 = points[0].summary.p50
+    emit(
+        "fig12_cluster_fanout",
+        format_series(
+            "F12: cluster fan-out at 40 qps (whole-query work fixed)",
+            "servers",
+            SERVERS,
+            [
+                ("p50_ms", [p.summary.p50 * 1000 for p in points]),
+                ("p99_ms", [p.summary.p99 * 1000 for p in points]),
+                ("speedup_p50", [base_p50 / p.summary.p50 for p in points]),
+                (
+                    "efficiency",
+                    [
+                        base_p50 / p.summary.p50 / p.num_servers
+                        for p in points
+                    ],
+                ),
+                ("skew_frac", [p.skew_fraction for p in points]),
+            ],
+        ),
+    )
+
+    # Shape: strong early improvement that saturates (and may invert at
+    # extreme widths, where skew overwhelms the per-node work savings),
+    # decaying efficiency, growing skew.
+    p50s = [p.summary.p50 for p in points]
+    assert p50s[3] < 0.5 * p50s[0]  # N=8 at least halves the median
+    assert min(p50s) < p50s[0] and min(p50s) <= p50s[-1]
+    efficiencies = [
+        base_p50 / p.summary.p50 / p.num_servers for p in points
+    ]
+    assert efficiencies[-1] < 0.8 * efficiencies[0]
+    assert points[-1].skew_fraction > points[1].skew_fraction

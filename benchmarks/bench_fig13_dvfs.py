@@ -1,0 +1,72 @@
+"""F13 (extension) — DVFS: frequency scaling vs. partitioning.
+
+Down-clocks the big server (cubic dynamic-power rule) at fixed load
+and reports latency, power, and the smallest partition count that
+restores the full-frequency p99.  Shape: each frequency step saves
+super-linear power but costs tail latency; moderate partitioning buys
+the latency back — frequency and intra-query parallelism are
+substitutes, the within-one-server version of the low-power finding.
+"""
+
+from repro.core.dvfs import dvfs_study
+from repro.core.reporting import format_table
+from repro.servers.catalog import BIG_SERVER
+
+FREQUENCIES = [1.0, 0.8, 0.6, 0.4]
+
+
+def test_fig13_dvfs(benchmark, demand_model, cost_model, emit):
+    capacity_qps = BIG_SERVER.compute_capacity / cost_model.total_work(
+        demand_model.mean_demand()
+    )
+    rate = 0.25 * capacity_qps
+
+    points = benchmark.pedantic(
+        dvfs_study,
+        args=(BIG_SERVER, demand_model, FREQUENCIES, rate),
+        kwargs={
+            "cost_model": cost_model,
+            "compensation_partitions": (1, 2, 4, 8, 16),
+            "num_queries": 5_000,
+            "seed": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    emit(
+        "fig13_dvfs",
+        format_table(
+            [
+                "freq", "p50_ms", "p99_ms", "power_W", "J_per_query",
+                "partitions_to_recover_p99",
+            ],
+            [
+                [
+                    point.frequency_factor,
+                    point.summary.p50 * 1000,
+                    point.summary.p99 * 1000,
+                    point.power_watts,
+                    point.energy_per_query_joules,
+                    point.compensating_partitions
+                    if point.compensating_partitions is not None
+                    else "none<=16",
+                ]
+                for point in points
+            ],
+            title=f"F13: DVFS sweep at {rate:.0f} qps (big server, P=1)",
+        ),
+    )
+
+    by_frequency = {p.frequency_factor: p for p in points}
+    # Latency cost and power savings both monotone in frequency.
+    p99s = [by_frequency[f].summary.p99 for f in FREQUENCIES]
+    assert p99s == sorted(p99s)
+    powers = [by_frequency[f].power_watts for f in FREQUENCIES]
+    assert powers == sorted(powers, reverse=True)
+    # Partitioning compensates at least one down-clocked point.
+    assert any(
+        point.compensating_partitions is not None
+        and point.compensating_partitions > 1
+        for point in points
+    )

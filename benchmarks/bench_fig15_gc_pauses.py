@@ -1,0 +1,70 @@
+"""F15 (extension) — GC pauses: the tail partitioning cannot fix.
+
+Injects JVM-like stop-the-world pauses (every 250 ms, 30 ms long —
+young-generation collections of a 2015-era heap under search load)
+into the simulated ISN and re-runs the partition sweep.  Shape: the
+clean-server tail shrinks steeply with P, but with pauses on, every
+partition count's p99 sits on a pause-height floor — a pause freezes
+all partitions at once, so intra-query parallelism cannot touch it.
+"""
+
+from repro.core.hiccups import hiccup_study
+from repro.core.reporting import format_series
+from repro.servers.catalog import BIG_SERVER
+from repro.sim.hiccups import HiccupConfig
+
+PARTITIONS = [1, 2, 4, 8, 16]
+PAUSES = HiccupConfig(mean_interval=0.25, pause_duration=0.03)
+
+
+def test_fig15_gc_pauses(benchmark, demand_model, cost_model, emit):
+    capacity_qps = BIG_SERVER.compute_capacity / cost_model.total_work(
+        demand_model.mean_demand()
+    )
+    rate = 0.3 * capacity_qps
+
+    points = benchmark.pedantic(
+        hiccup_study,
+        args=(BIG_SERVER, demand_model, PARTITIONS, rate, PAUSES),
+        kwargs={"cost_model": cost_model, "num_queries": 6_000, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+
+    def series(enabled, stat):
+        return [
+            getattr(point.summary, stat) * 1000
+            for point in points
+            if point.hiccups_enabled == enabled
+        ]
+
+    emit(
+        "fig15_gc_pauses",
+        format_series(
+            f"F15: p99 vs partitions, with/without GC pauses "
+            f"({PAUSES.pause_duration * 1000:.0f} ms every "
+            f"{PAUSES.mean_interval * 1000:.0f} ms), at {rate:.0f} qps",
+            "partitions",
+            PARTITIONS,
+            [
+                ("clean_p99_ms", series(False, "p99")),
+                ("paused_p99_ms", series(True, "p99")),
+                ("clean_p50_ms", series(False, "p50")),
+                ("paused_p50_ms", series(True, "p50")),
+            ],
+        ),
+    )
+
+    clean = {p.num_partitions: p.summary for p in points if not p.hiccups_enabled}
+    paused = {p.num_partitions: p.summary for p in points if p.hiccups_enabled}
+    # Clean tail: steep partitioning win.
+    assert clean[8].p99 < 0.6 * clean[1].p99
+    # The pause floor: every paused p99 sits at least half a pause above
+    # its clean counterpart, including at high partition counts.
+    for num_partitions in PARTITIONS:
+        assert (
+            paused[num_partitions].p99
+            > clean[num_partitions].p99 + 0.5 * PAUSES.pause_duration
+        )
+    # And the partitioning win is weaker under pauses.
+    assert (paused[1].p99 / paused[8].p99) < (clean[1].p99 / clean[8].p99)

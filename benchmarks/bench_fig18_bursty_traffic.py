@@ -1,0 +1,82 @@
+"""F18 (extension) — Bursty traffic: provisioning for the peak.
+
+Compares Poisson arrivals against an equal-average-rate MMPP (bursts
+at 3x the base rate) across the partition sweep.  Shape: burstiness
+inflates the tail at equal average load; in the peak-heavy regime the
+burst tail is queue-dominated, so partitioning's work inflation
+*reverses* its benefit at high partition counts — the partition count
+(like every other resource) must be provisioned for the peak incoming
+traffic load, which is precisely the QoS framing of the paper's
+abstract.
+"""
+
+from repro.core.bursts import burst_study
+from repro.core.reporting import format_series
+from repro.servers.catalog import BIG_SERVER
+
+PARTITIONS = [1, 2, 4, 8, 16]
+BURST_FACTOR = 3.0
+
+
+def test_fig18_bursty_traffic(benchmark, demand_model, cost_model, emit):
+    capacity_qps = BIG_SERVER.compute_capacity / cost_model.total_work(
+        demand_model.mean_demand()
+    )
+    average_rate = 0.4 * capacity_qps  # burst state ≈ 0.9x capacity
+
+    points = benchmark.pedantic(
+        burst_study,
+        args=(BIG_SERVER, demand_model, PARTITIONS, average_rate),
+        kwargs={
+            "burst_factor": BURST_FACTOR,
+            "cost_model": cost_model,
+            "num_queries": 8_000,
+            "seed": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    def series(kind, stat):
+        return [
+            getattr(point.summary, stat) * 1000
+            for point in points
+            if point.arrival_kind == kind
+        ]
+
+    emit(
+        "fig18_bursty_traffic",
+        format_series(
+            f"F18: Poisson vs bursty (MMPP {BURST_FACTOR:.0f}x) at "
+            f"{average_rate:.0f} qps average",
+            "partitions",
+            PARTITIONS,
+            [
+                ("poisson_p99_ms", series("poisson", "p99")),
+                ("mmpp_p99_ms", series("mmpp", "p99")),
+                ("poisson_p50_ms", series("poisson", "p50")),
+                ("mmpp_p50_ms", series("mmpp", "p50")),
+            ],
+        ),
+    )
+
+    poisson = {
+        p.num_partitions: p.summary
+        for p in points
+        if p.arrival_kind == "poisson"
+    }
+    mmpp = {
+        p.num_partitions: p.summary
+        for p in points
+        if p.arrival_kind == "mmpp"
+    }
+    # Bursts inflate the tail at every partition count.
+    for num_partitions in PARTITIONS:
+        assert mmpp[num_partitions].p99 > poisson[num_partitions].p99
+    # Poisson: the familiar partitioning win.
+    assert poisson[4].p99 < 0.6 * poisson[1].p99
+    # Peak-heavy bursts: the win shrinks or reverses at high P.
+    poisson_gain = poisson[1].p99 / poisson[8].p99
+    mmpp_gain = mmpp[1].p99 / mmpp[8].p99
+    assert mmpp_gain < poisson_gain
+    assert mmpp[16].p99 > mmpp[1].p99  # over-partitioning hurts at peak

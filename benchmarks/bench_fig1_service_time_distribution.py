@@ -1,0 +1,59 @@
+"""F1 — Query service-time distribution (native engine).
+
+Regenerates the service-time CDF/percentile figure: replay a
+popularity-weighted query stream serially, report the distribution's
+order statistics, and fit log-normal vs. exponential models.  The
+paper-shape claims: strong right skew (mean > median, p99 ≫ p50) and a
+log-normal body.
+"""
+
+import numpy as np
+
+from repro.core.characterization import characterize_service_times
+from repro.core.reporting import format_series, format_table
+from repro.metrics.histogram import cdf_points
+
+
+def test_fig1_service_time_distribution(benchmark, service, emit):
+    characterization = benchmark.pedantic(
+        characterize_service_times,
+        args=(service.isn, service.query_log),
+        kwargs={"num_queries": 400, "repeats": 1, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+
+    summary = characterization.summary.scaled(1000.0)  # -> milliseconds
+    stat_rows = [
+        ["queries", summary.count],
+        ["mean (ms)", summary.mean],
+        ["p50 (ms)", summary.p50],
+        ["p90 (ms)", summary.p90],
+        ["p99 (ms)", summary.p99],
+        ["max (ms)", summary.max],
+        ["p99/p50", characterization.tail_ratio],
+        ["lognormal KS", characterization.lognormal.ks_distance],
+        ["exponential KS", characterization.exponential.ks_distance],
+    ]
+    points = cdf_points(characterization.samples() * 1000.0, num_points=11)
+    cdf_table = format_series(
+        "F1b: service-time CDF (ms)",
+        "percentile",
+        [round(fraction * 100) for _, fraction in points],
+        [("service_ms", [value for value, _ in points])],
+    )
+    emit(
+        "fig1_service_time_distribution",
+        format_table(
+            ["statistic", "value"],
+            stat_rows,
+            title="F1: service-time distribution (single partition)",
+        )
+        + "\n\n"
+        + cdf_table,
+    )
+
+    # Paper-shape assertions.
+    assert characterization.summary.mean > characterization.summary.p50
+    assert characterization.tail_ratio > 1.5
+    assert characterization.lognormal_fits_better

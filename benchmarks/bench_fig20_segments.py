@@ -1,0 +1,94 @@
+"""F20 (extension) — Segment drift: update activity vs. query latency.
+
+An incrementally-updated index accumulates segments; each query fans
+out over all of them, so query cost drifts upward with update activity
+until a merge pays it back — the maintenance analogue of the
+intra-server partitioning study (a multi-segment index *is* a
+partitioned index with an uncontrolled partition count, minus the
+parallelism: segments are searched serially here).  Measures mean
+query time at 32/8/1 segments over the same documents, and the cost of
+the merge itself.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.reporting import format_table
+from repro.index.segments import MergePolicy, SegmentedIndex
+
+from conftest import BENCH_QUERY_LOG
+
+NUM_DOCS = 2_000
+SEGMENTS_START = 32
+
+
+def test_fig20_segments(benchmark, service, emit):
+    documents = list(service.collection)[:NUM_DOCS]
+    rng = np.random.default_rng(5)
+    queries = [
+        q.text for q in service.query_log.sample_stream(60, rng)
+    ]
+
+    def build_and_measure():
+        segmented = SegmentedIndex(
+            analyzer=service.analyzer,
+            merge_policy=MergePolicy(max_segments=10_000),
+        )
+        batch_size = NUM_DOCS // SEGMENTS_START
+        for start in range(0, NUM_DOCS, batch_size):
+            segmented.add_documents(documents[start : start + batch_size])
+
+        measurements = {}
+
+        def measure(label):
+            start_time = time.perf_counter()
+            for text in queries:
+                segmented.search(text, k=10)
+            elapsed = time.perf_counter() - start_time
+            measurements[label] = (
+                segmented.num_segments,
+                elapsed / len(queries),
+            )
+
+        measure("fresh")
+
+        # Partial merge down to single digits of segments.
+        while segmented.num_segments > 8:
+            segmented.merge_policy = MergePolicy(
+                max_segments=segmented.num_segments - 1, merge_factor=4
+            )
+            segmented.maybe_merge()
+        measure("tiered-merged")
+
+        merge_start = time.perf_counter()
+        segmented.force_merge()
+        merge_seconds = time.perf_counter() - merge_start
+        measure("force-merged")
+        return measurements, merge_seconds
+
+    measurements, merge_seconds = benchmark.pedantic(
+        build_and_measure, rounds=1, iterations=1
+    )
+
+    emit(
+        "fig20_segments",
+        format_table(
+            ["state", "segments", "mean_query_ms"],
+            [
+                [label, segments, mean_seconds * 1000]
+                for label, (segments, mean_seconds) in measurements.items()
+            ],
+            title=f"F20: query cost vs segment count ({NUM_DOCS} docs)",
+        )
+        + f"\n\nforce-merge cost: {merge_seconds * 1000:.0f} ms "
+        f"(amortized over subsequent queries)",
+    )
+
+    many = measurements["fresh"][1]
+    some = measurements["tiered-merged"][1]
+    one = measurements["force-merged"][1]
+    # Query cost decreases monotonically as segments merge away...
+    assert one < some < many
+    # ...and the 32-segment state costs materially more than optimized.
+    assert many > 1.3 * one

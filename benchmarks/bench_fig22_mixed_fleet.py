@@ -1,0 +1,78 @@
+"""F22 (extension) — Mixed big.LITTLE fleets with cost-aware routing.
+
+Extends the low-power study (F6/F7) to fleet composition at roughly
+equal aggregate compute: all-big vs all-little vs a mixed fleet whose
+router sends the top ~20% most expensive queries (by index-derived
+cost, which real engines estimate well from term statistics) to the
+big group.  Shape: all-little saves power but pays tail latency; the
+mixed fleet recovers most of the all-big tail — only the expensive
+queries need fast cores — at a fraction of the power.
+"""
+
+from repro.cluster.server import PartitionModelConfig
+from repro.core.hetero import fleet_composition_study
+from repro.core.reporting import format_table
+from repro.servers.catalog import BIG_SERVER, SMALL_SERVER
+
+
+def test_fig22_mixed_fleet(benchmark, demand_model, cost_model, emit):
+    partitioning = PartitionModelConfig(
+        num_partitions=1,
+        partition_overhead=cost_model.partition_overhead,
+        merge_base=cost_model.merge_base,
+        merge_per_partition=cost_model.merge_per_partition,
+    )
+    # ~40% of the all-big fleet's capacity.
+    rate = 0.4 * 2 * BIG_SERVER.compute_capacity / cost_model.total_work(
+        demand_model.mean_demand()
+    )
+
+    points = benchmark.pedantic(
+        fleet_composition_study,
+        args=(BIG_SERVER, SMALL_SERVER, demand_model, rate),
+        kwargs={
+            "all_big": 2,
+            "mixed_big": 1,
+            "mixed_little": 3,
+            "threshold_quantile": 0.8,
+            "partitioning": partitioning,
+            "num_queries": 8_000,
+            "seed": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    emit(
+        "fig22_mixed_fleet",
+        format_table(
+            [
+                "fleet", "big", "little", "p50_ms", "p99_ms",
+                "power_W", "J_per_query", "big_share",
+            ],
+            [
+                [
+                    point.label,
+                    point.num_big,
+                    point.num_little,
+                    point.summary.p50 * 1000,
+                    point.summary.p99 * 1000,
+                    point.total_power_watts,
+                    point.energy_per_query_joules,
+                    point.big_traffic_share,
+                ]
+                for point in points
+            ],
+            title=f"F22: fleet composition at {rate:.0f} qps "
+            "(≈ equal aggregate compute)",
+        ),
+    )
+
+    all_big, all_little, mixed = points
+    # The paper's trade: all-little saves power, pays tail.
+    assert all_little.total_power_watts < 0.6 * all_big.total_power_watts
+    assert all_little.summary.p99 > 1.5 * all_big.summary.p99
+    # The mixed fleet recovers the tail cheaply.
+    assert mixed.summary.p99 < 0.6 * all_little.summary.p99
+    assert mixed.total_power_watts < 0.8 * all_big.total_power_watts
+    assert mixed.energy_per_query_joules < all_big.energy_per_query_joules

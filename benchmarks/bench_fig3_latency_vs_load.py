@@ -1,0 +1,53 @@
+"""F3 — Response time vs. offered load (simulated, calibrated demands).
+
+Regenerates the hockey-stick curve: mean and p99 response time as the
+open-loop Poisson rate sweeps from a trickle to near saturation of an
+unpartitioned big server.  Paper shape: the curve is flat below the
+knee, the p99 diverges well before the mean.
+"""
+
+from repro.cluster.simulation import ClusterConfig
+from repro.core.loadsweep import run_load_sweep
+from repro.core.reporting import format_series
+from repro.servers.catalog import BIG_SERVER
+
+
+def test_fig3_latency_vs_load(benchmark, demand_model, cost_model, emit):
+    capacity_qps = BIG_SERVER.compute_capacity / cost_model.total_work(
+        demand_model.mean_demand()
+    )
+    fractions = [0.1, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95]
+    rates = [fraction * capacity_qps for fraction in fractions]
+    config = ClusterConfig(spec=BIG_SERVER, partitioning=cost_model)
+
+    points = benchmark.pedantic(
+        run_load_sweep,
+        args=(config, demand_model, rates),
+        kwargs={"num_queries": 8_000, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+
+    emit(
+        "fig3_latency_vs_load",
+        format_series(
+            "F3: response time vs offered load (big server, P=1)",
+            "load_fraction",
+            fractions,
+            [
+                ("offered_qps", [p.offered_qps for p in points]),
+                ("util", [p.utilization for p in points]),
+                ("mean_ms", [p.summary.mean * 1000 for p in points]),
+                ("p99_ms", [p.summary.p99 * 1000 for p in points]),
+            ],
+        ),
+    )
+
+    # Paper-shape assertions: the hockey stick — a flat body, then the
+    # tail blows up approaching saturation, and the absolute p99-p50
+    # spread widens far faster than the body moves.
+    assert points[-1].summary.p99 > 2 * points[0].summary.p99
+    assert points[2].summary.p99 < 1.5 * points[0].summary.p99  # flat body
+    spread_low = points[0].summary.p99 - points[0].summary.p50
+    spread_high = points[-1].summary.p99 - points[-1].summary.p50
+    assert spread_high > 2 * spread_low

@@ -1,0 +1,52 @@
+"""F4 — Response-time percentiles vs. intra-server partition count.
+
+The paper's central figure: at a fixed moderate load on the big
+server, sweeping P ∈ {1..16} cuts the p99 steeply for the first few
+partitions, then flattens as per-partition overhead and core
+contention take over.
+"""
+
+from repro.core.partitioning import run_partitioning_sweep
+from repro.core.reporting import format_series
+from repro.servers.catalog import BIG_SERVER
+
+PARTITIONS = [1, 2, 4, 8, 16]
+
+
+def test_fig4_partitioning_tail(benchmark, demand_model, cost_model, emit):
+    capacity_qps = BIG_SERVER.compute_capacity / cost_model.total_work(
+        demand_model.mean_demand()
+    )
+    rate = 0.35 * capacity_qps
+
+    points = benchmark.pedantic(
+        run_partitioning_sweep,
+        args=(BIG_SERVER, demand_model, PARTITIONS, rate),
+        kwargs={"cost_model": cost_model, "num_queries": 8_000, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+
+    emit(
+        "fig4_partitioning_tail",
+        format_series(
+            f"F4: latency vs partitions (big server, {rate:.0f} qps)",
+            "partitions",
+            PARTITIONS,
+            [
+                ("p50_ms", [p.summary.p50 * 1000 for p in points]),
+                ("p90_ms", [p.summary.p90 * 1000 for p in points]),
+                ("p99_ms", [p.summary.p99 * 1000 for p in points]),
+                ("util", [p.utilization for p in points]),
+            ],
+        ),
+    )
+
+    by_partitions = {p.num_partitions: p.summary for p in points}
+    # Headline: partitioning reduces tail latency...
+    assert by_partitions[4].p99 < 0.6 * by_partitions[1].p99
+    assert by_partitions[8].p99 < by_partitions[1].p99
+    # ...with diminishing returns: the 8->16 step gains far less than 1->4.
+    gain_first = by_partitions[1].p99 - by_partitions[4].p99
+    gain_last = by_partitions[8].p99 - by_partitions[16].p99
+    assert gain_last < 0.5 * gain_first

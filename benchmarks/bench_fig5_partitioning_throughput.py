@@ -1,0 +1,59 @@
+"""F5 — QoS-bounded maximum throughput vs. partition count.
+
+Regenerates the throughput side of the partitioning study: the largest
+sustainable QPS whose p99 stays under the QoS target, per partition
+count.  Paper shape: moderate partitioning buys throughput headroom
+under a tail-latency SLA (the tail shrinks, so the QoS binds later),
+but the per-partition work inflation eventually claws it back.
+"""
+
+from repro.core.capacity import capacity_vs_partitions
+from repro.core.reporting import format_series
+from repro.servers.catalog import BIG_SERVER
+
+PARTITIONS = [1, 2, 4, 8, 16]
+
+
+def test_fig5_partitioning_throughput(
+    benchmark, demand_model, cost_model, emit
+):
+    # QoS: 2.5x the mean unloaded service time — a tight tail target
+    # that an unpartitioned server can only meet at low load.
+    qos = 2.5 * demand_model.mean_demand()
+
+    points = benchmark.pedantic(
+        capacity_vs_partitions,
+        args=(BIG_SERVER, demand_model, PARTITIONS, qos),
+        kwargs={
+            "cost_model": cost_model,
+            "num_queries": 5_000,
+            "tolerance_qps": 0.02
+            * BIG_SERVER.compute_capacity
+            / demand_model.mean_demand(),
+            "seed": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    emit(
+        "fig5_partitioning_throughput",
+        format_series(
+            f"F5: max throughput under p99 <= {qos * 1000:.1f} ms",
+            "partitions",
+            PARTITIONS,
+            [
+                ("max_qps", [p.max_qps for p in points]),
+                ("p99_at_max_ms", [p.p99_at_max * 1000 for p in points]),
+                ("util_at_max", [p.utilization_at_max for p in points]),
+            ],
+        ),
+    )
+
+    by_partitions = {p.num_partitions: p for p in points}
+    # Partitioning must buy QoS-bounded throughput over P=1...
+    assert by_partitions[4].max_qps > by_partitions[1].max_qps
+    # ...and every reported point respects the QoS.
+    for point in points:
+        if point.max_qps > 0:
+            assert point.p99_at_max <= qos

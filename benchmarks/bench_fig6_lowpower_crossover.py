@@ -1,0 +1,66 @@
+"""F6 — Big vs. low-power server response time vs. partitions.
+
+Regenerates the low-power study's crossover figure: both servers sweep
+the partition count at the same (low) offered load.  Paper shape: the
+low-power server at P=1 is ~3x slower (the per-core speed ratio), but
+given enough partitions its response times converge to — and its tail
+can even match — the big server's unpartitioned level.
+"""
+
+from repro.core.lowpower import compare_servers_vs_partitions
+from repro.core.reporting import format_series
+from repro.servers.catalog import BIG_SERVER, SMALL_SERVER
+
+PARTITIONS = [1, 2, 4, 8, 16]
+
+
+def test_fig6_lowpower_crossover(benchmark, demand_model, cost_model, emit):
+    # Low load: the study isolates intrinsic response time, and the
+    # rate must stay within the small server's (lower) capacity.
+    small_capacity = SMALL_SERVER.compute_capacity / cost_model.total_work(
+        demand_model.mean_demand()
+    )
+    rate = 0.3 * small_capacity
+
+    points = benchmark.pedantic(
+        compare_servers_vs_partitions,
+        args=([BIG_SERVER, SMALL_SERVER], demand_model, PARTITIONS, rate),
+        kwargs={"cost_model": cost_model, "num_queries": 8_000, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+
+    series = {}
+    for point in points:
+        series.setdefault(point.server_name, {})[point.num_partitions] = (
+            point.summary
+        )
+    emit(
+        "fig6_lowpower_crossover",
+        format_series(
+            f"F6: big vs low-power server latency vs partitions "
+            f"({rate:.0f} qps)",
+            "partitions",
+            PARTITIONS,
+            [
+                (
+                    f"{name}_{stat}_ms",
+                    [
+                        getattr(series[name][p], stat) * 1000
+                        for p in PARTITIONS
+                    ],
+                )
+                for name in (BIG_SERVER.name, SMALL_SERVER.name)
+                for stat in ("p50", "p99")
+            ],
+        ),
+    )
+
+    big = series[BIG_SERVER.name]
+    small = series[SMALL_SERVER.name]
+    # Unpartitioned, the small server is ~1/core_speed slower.
+    assert small[1].p50 > 2.0 * big[1].p50
+    # The paper's claim: enough partitioning closes the gap to the big
+    # server's P=1 response time.
+    assert min(small[p].p99 for p in PARTITIONS) <= 1.2 * big[1].p99
+    assert min(small[p].p50 for p in PARTITIONS) <= 1.2 * big[1].p50

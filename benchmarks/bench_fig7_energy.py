@@ -1,0 +1,58 @@
+"""F7 — Energy per query at matched QoS: big vs. low-power server.
+
+Regenerates the energy comparison: each server picks its best
+QoS-compliant operating point (partition count + max rate under the
+p99 target), and we report wall power and joules per query there.
+Paper shape: the low-power server serves each query with a fraction of
+the big server's energy, at the cost of lower per-node throughput.
+"""
+
+from repro.core.lowpower import matched_qos_energy
+from repro.core.reporting import format_table
+from repro.servers.catalog import BIG_SERVER, SMALL_SERVER
+
+PARTITIONS = [1, 2, 4, 8, 16]
+
+
+def test_fig7_energy(benchmark, demand_model, cost_model, emit):
+    qos = 4.0 * demand_model.mean_demand()
+
+    rows = benchmark.pedantic(
+        matched_qos_energy,
+        args=([BIG_SERVER, SMALL_SERVER], demand_model, qos, PARTITIONS),
+        kwargs={"cost_model": cost_model, "num_queries": 4_000, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+
+    emit(
+        "fig7_energy",
+        format_table(
+            [
+                "server", "partitions", "qps", "p99_ms", "util",
+                "power_W", "J_per_query",
+            ],
+            [
+                [
+                    row.server_name,
+                    row.num_partitions,
+                    row.qps,
+                    row.p99_seconds * 1000,
+                    row.utilization,
+                    row.power_watts,
+                    row.energy_per_query_joules,
+                ]
+                for row in rows
+            ],
+            title=f"F7: matched-QoS operating points (p99 <= {qos*1000:.1f} ms)",
+        ),
+    )
+
+    by_server = {row.server_name: row for row in rows}
+    big = by_server[BIG_SERVER.name]
+    small = by_server[SMALL_SERVER.name]
+    assert big.meets_qos and small.meets_qos
+    # Headline: the microserver is more energy-efficient per query...
+    assert small.energy_per_query_joules < big.energy_per_query_joules
+    # ...while the big server still wins on per-node throughput.
+    assert big.qps > small.qps

@@ -1,0 +1,65 @@
+"""F8 — Latency component breakdown vs. partition count.
+
+Regenerates the architecture-analysis figure: mean latency decomposed
+into core-queue wait, parallel service, fork-join straggler skew, merge
+wait, and merge service, across the partition sweep.  Paper shape:
+parallel service shrinks ~1/P while skew and merge grow, explaining
+both the tail win and the eventual flattening of F4.
+"""
+
+from repro.cluster.results import BREAKDOWN_COMPONENTS
+from repro.core.breakdown import breakdown_vs_partitions
+from repro.core.reporting import format_series
+from repro.servers.catalog import BIG_SERVER
+
+PARTITIONS = [1, 2, 4, 8, 16]
+
+
+def test_fig8_breakdown(benchmark, demand_model, cost_model, emit):
+    capacity_qps = BIG_SERVER.compute_capacity / cost_model.total_work(
+        demand_model.mean_demand()
+    )
+    rate = 0.35 * capacity_qps
+
+    points = benchmark.pedantic(
+        breakdown_vs_partitions,
+        args=(BIG_SERVER, demand_model, PARTITIONS, rate),
+        kwargs={"cost_model": cost_model, "num_queries": 8_000, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+
+    emit(
+        "fig8_breakdown",
+        format_series(
+            f"F8: mean latency components vs partitions ({rate:.0f} qps), ms",
+            "partitions",
+            PARTITIONS,
+            [
+                (
+                    component,
+                    [
+                        p.mean_components[component] * 1000
+                        for p in points
+                    ],
+                )
+                for component in BREAKDOWN_COMPONENTS
+                if component != "network_time"
+            ]
+            + [("total", [p.mean_latency * 1000 for p in points])],
+        ),
+    )
+
+    by_partitions = {p.num_partitions: p.mean_components for p in points}
+    # Parallel service shrinks with P...
+    assert (
+        by_partitions[8]["parallel_service"]
+        < 0.5 * by_partitions[1]["parallel_service"]
+    )
+    # ...merge grows with P, and skew only exists for P > 1.
+    assert (
+        by_partitions[16]["merge_service"]
+        > by_partitions[1]["merge_service"]
+    )
+    assert by_partitions[1]["straggler_skew"] == 0.0
+    assert by_partitions[8]["straggler_skew"] > 0.0

@@ -1,0 +1,66 @@
+"""F9 — Closed-loop (Faban-style) client sweep.
+
+Regenerates the driver-semantics figure: throughput and response time
+as the emulated client population grows, with exponential think times —
+the load-generation mode the benchmark actually ships.  Paper shape:
+throughput grows near-linearly while the server has headroom, then
+saturates; response time stays flat until saturation and climbs
+steeply after, while closed-loop back-pressure keeps it bounded.
+"""
+
+from repro.cluster.simulation import ClusterConfig, run_closed_loop
+from repro.core.reporting import format_series
+from repro.servers.catalog import BIG_SERVER
+from repro.workload.arrivals import ClosedLoopSpec
+
+CLIENTS = [1, 2, 4, 8, 16, 32, 64]
+
+
+def test_fig9_closed_loop(benchmark, demand_model, cost_model, emit):
+    # Think time ~4x mean demand: saturation lands mid-sweep.
+    think = 4.0 * demand_model.mean_demand()
+    config = ClusterConfig(spec=BIG_SERVER, partitioning=cost_model)
+
+    def sweep():
+        return [
+            run_closed_loop(
+                config,
+                ClosedLoopSpec(num_clients=clients, mean_think_time=think),
+                demand_model,
+                num_queries=5_000,
+                seed=0,
+            )
+            for clients in CLIENTS
+        ]
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    emit(
+        "fig9_closed_loop",
+        format_series(
+            f"F9: closed-loop sweep (think={think*1000:.1f} ms)",
+            "clients",
+            CLIENTS,
+            [
+                ("qps", [r.achieved_qps() for r in results]),
+                (
+                    "mean_ms",
+                    [r.summary(0.1).mean * 1000 for r in results],
+                ),
+                ("p99_ms", [r.summary(0.1).p99 * 1000 for r in results]),
+                ("util", [r.utilization() for r in results]),
+            ],
+        ),
+    )
+
+    qps = [r.achieved_qps() for r in results]
+    means = [r.summary(0.1).mean for r in results]
+    # Throughput grows with population, with diminishing returns.
+    assert qps[2] > 1.8 * qps[0]
+    assert qps[-1] > qps[-3]
+    relative_gain_early = qps[1] / qps[0]
+    relative_gain_late = qps[-1] / qps[-2]
+    assert relative_gain_late < relative_gain_early
+    # Response time is flat at small populations, elevated at large.
+    assert means[1] < 1.3 * means[0]
+    assert means[-1] > 1.5 * means[0]

@@ -1,0 +1,119 @@
+"""Micro-benchmarks of the search engine's inner loops.
+
+Not tied to a paper figure; these track the per-query costs of the
+three traversal algorithms, the merge, and the postings codec, so
+engine regressions are caught where they originate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.index.compression import decode_postings, encode_postings
+from repro.index.postings import PostingsList
+from repro.search.executor import Searcher
+from repro.search.merger import merge_shard_results
+from repro.search.topk import SearchHit
+
+
+@pytest.fixture(scope="module")
+def query_sample(service):
+    rng = np.random.default_rng(3)
+    return [q.text for q in service.query_log.sample_stream(50, rng)]
+
+
+@pytest.mark.parametrize("algorithm", ["daat", "taat", "wand"])
+def test_micro_query_throughput(benchmark, service, query_sample, algorithm):
+    searcher = Searcher(service.partitioned[0].index, algorithm=algorithm)
+
+    def run_batch():
+        for text in query_sample:
+            searcher.search(text)
+
+    benchmark.pedantic(run_batch, rounds=3, iterations=1)
+
+
+def test_micro_analyzer_throughput(benchmark, service):
+    """Tokens/second through the full analyzer chain."""
+    texts = [doc.body for doc in list(service.collection)[:50]]
+
+    def analyze_batch():
+        for text in texts:
+            service.analyzer.analyze(text)
+
+    benchmark.pedantic(analyze_batch, rounds=3, iterations=1)
+
+
+def test_micro_index_build(benchmark, service):
+    """Index-construction throughput over a 300-document slice."""
+    from repro.corpus.documents import Document, DocumentCollection
+    from repro.index.builder import IndexBuilder
+
+    collection = DocumentCollection()
+    for local_id, document in enumerate(list(service.collection)[:300]):
+        collection.add(
+            Document(
+                doc_id=local_id,
+                url=document.url,
+                title=document.title,
+                body=document.body,
+            )
+        )
+    builder = IndexBuilder(service.analyzer)
+    benchmark.pedantic(builder.build, args=(collection,), rounds=2,
+                       iterations=1)
+
+
+def test_micro_snippet_generation(benchmark, service):
+    """Per-snippet rendering cost on real documents."""
+    from repro.engine.snippets import SnippetGenerator
+
+    generator = SnippetGenerator(service.analyzer, window_tokens=30)
+    documents = list(service.collection)[:30]
+    terms = service.analyzer.analyze(documents[0].body)[:2]
+
+    def render_batch():
+        for document in documents:
+            generator.snippet(document, terms)
+
+    benchmark.pedantic(render_batch, rounds=3, iterations=1)
+
+
+def test_micro_merge(benchmark):
+    rng = np.random.default_rng(0)
+    shard_hits = [
+        [
+            SearchHit(score=float(score), doc_id=int(doc_id))
+            for score, doc_id in zip(
+                rng.random(10), rng.integers(0, 1_000_000, 10)
+            )
+        ]
+        for _ in range(16)
+    ]
+    benchmark(merge_shard_results, shard_hits, 10)
+
+
+@pytest.mark.parametrize("algorithm", ["merge", "gallop"])
+def test_micro_skewed_intersection(benchmark, algorithm):
+    """Galloping must dominate the linear merge on 1:1000-skewed lists."""
+    from repro.search.intersection import intersect_gallop, intersect_merge
+
+    rng = np.random.default_rng(4)
+    small = np.sort(rng.choice(np.arange(2_000_000), 200, replace=False))
+    large = np.sort(rng.choice(np.arange(2_000_000), 200_000, replace=False))
+    function = intersect_gallop if algorithm == "gallop" else intersect_merge
+
+    benchmark.pedantic(function, args=(small, large), rounds=3, iterations=1)
+
+
+def test_micro_postings_codec(benchmark):
+    rng = np.random.default_rng(1)
+    doc_ids = np.sort(
+        rng.choice(np.arange(1_000_000), size=20_000, replace=False)
+    )
+    frequencies = rng.integers(1, 20, size=20_000)
+    postings = PostingsList(doc_ids, frequencies)
+
+    def roundtrip():
+        decode_postings(encode_postings(postings))
+
+    benchmark.pedantic(roundtrip, rounds=3, iterations=1)

@@ -1,0 +1,59 @@
+"""T1 — Benchmark configuration & index statistics table.
+
+Regenerates the characterization paper's configuration table: corpus
+size, dictionary size, postings volume, posting-length skew, compressed
+index size.  The benchmarked unit is full index construction (the
+benchmark's setup phase).
+"""
+
+from repro.core.reporting import format_table
+from repro.index.builder import IndexBuilder
+from repro.index.stats import compute_statistics
+
+
+def test_table1_benchmark_config(benchmark, service, emit):
+    index = service.partitioned[0].index
+
+    def build_index():
+        return IndexBuilder(service.analyzer).build(service.collection)
+
+    rebuilt = benchmark.pedantic(build_index, rounds=1, iterations=1)
+    assert rebuilt.num_terms == index.num_terms
+
+    stats = compute_statistics(index)
+    rows = [[label, value] for label, value in stats.as_rows().items()]
+
+    from repro.corpus.loganalysis import profile_query_log
+
+    profile = profile_query_log(service.query_log, stream_length=40_000)
+    rows.extend(
+        [
+            ["unique queries in log", profile.num_unique_queries],
+            ["mean terms per query", round(profile.mean_terms_per_query, 2)],
+            [
+                "measured popularity Zipf exponent",
+                round(profile.estimated_popularity_exponent, 3),
+            ],
+            [
+                "top 1% queries' traffic share",
+                round(profile.top_1pct_traffic_share, 3),
+            ],
+            [
+                "top 10% queries' traffic share",
+                round(profile.top_10pct_traffic_share, 3),
+            ],
+        ]
+    )
+    emit(
+        "table1_benchmark_config",
+        format_table(
+            ["parameter", "value"],
+            rows,
+            title="T1: benchmark configuration and index statistics",
+        ),
+    )
+
+    # Shape checks: a crawl-like index is Zipf-skewed.
+    assert stats.num_documents == 6_000
+    assert stats.p99_posting_length > 10 * stats.median_posting_length
+    assert stats.compressed_size_bytes > 0

@@ -1,0 +1,62 @@
+"""T2 — Index-size scaling: service time vs. corpus size (native).
+
+Regenerates the characterization's scaling table: build the benchmark
+at several corpus sizes (same vocabulary, same query log) and measure
+how index statistics and serial service times grow.  Shape: postings
+volume and service time grow near-linearly with document count; the
+tail ratio stays roughly constant (the skew is a property of the
+vocabulary, not the corpus size).
+"""
+
+from dataclasses import replace
+
+from repro.core.characterization import index_scaling_study
+from repro.core.reporting import format_table
+
+from conftest import BENCH_CORPUS
+
+SIZES = [1_500, 3_000, 6_000, 12_000]
+
+
+def test_table2_index_scaling(benchmark, emit):
+    configs = [
+        replace(BENCH_CORPUS, num_documents=size) for size in SIZES
+    ]
+
+    rows = benchmark.pedantic(
+        index_scaling_study,
+        args=(configs,),
+        kwargs={"queries_per_size": 120, "repeats": 1, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+
+    emit(
+        "table2_index_scaling",
+        format_table(
+            [
+                "documents", "terms", "postings",
+                "mean_ms", "p50_ms", "p99_ms", "p99/p50",
+            ],
+            [
+                [
+                    row.num_documents,
+                    row.index_stats.num_terms,
+                    row.index_stats.total_postings,
+                    row.service_summary.mean * 1000,
+                    row.service_summary.p50 * 1000,
+                    row.service_summary.p99 * 1000,
+                    row.service_summary.tail_ratio,
+                ]
+                for row in rows
+            ],
+            title="T2: index-size scaling (native, single partition)",
+        ),
+    )
+
+    # Shape: postings and service time grow with corpus size.
+    assert rows[-1].index_stats.total_postings > 4 * rows[0].index_stats.total_postings
+    assert rows[-1].service_summary.mean > 2 * rows[0].service_summary.mean
+    # The heavy tail is present at every size.
+    for row in rows:
+        assert row.service_summary.tail_ratio > 1.5

@@ -1,0 +1,67 @@
+"""T3 (extension) — Cluster provisioning: big vs low-power deployments.
+
+The datacenter-level consequence of F6/F7: to serve a fixed aggregate
+load under the tail-latency SLA, how many servers and how many watts
+does each class need?  Shape: the low-power class needs several times
+the node count (its per-node QoS-compliant throughput is lower) but
+the *total* wall power of the deployment is still lower — the paper's
+low-power conclusion restated in provisioning terms.
+"""
+
+from repro.core.provisioning import provisioning_study
+from repro.core.reporting import format_table
+from repro.servers.catalog import BIG_SERVER, SMALL_SERVER
+
+TARGET_QPS = 10_000.0
+
+
+def test_table3_provisioning(benchmark, demand_model, cost_model, emit):
+    qos = 4.0 * demand_model.mean_demand()
+
+    rows = benchmark.pedantic(
+        provisioning_study,
+        args=([BIG_SERVER, SMALL_SERVER], demand_model, TARGET_QPS, qos),
+        kwargs={
+            "partition_counts": (1, 2, 4, 8, 16),
+            "cost_model": cost_model,
+            "num_queries": 4_000,
+            "seed": 0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    emit(
+        "table3_provisioning",
+        format_table(
+            [
+                "server", "best_P", "per_node_qps", "nodes",
+                "node_util", "total_kW", "W_per_kqps",
+            ],
+            [
+                [
+                    row.server_name,
+                    row.best_partitions,
+                    row.per_node_qps,
+                    row.nodes_needed,
+                    row.node_utilization,
+                    row.total_power_watts / 1_000.0,
+                    row.watts_per_kqps,
+                ]
+                for row in rows
+            ],
+            title=(
+                f"T3: deployment for {TARGET_QPS:.0f} qps under "
+                f"p99 <= {qos * 1000:.1f} ms"
+            ),
+        ),
+    )
+
+    by_name = {row.server_name: row for row in rows}
+    big = by_name[BIG_SERVER.name]
+    small = by_name[SMALL_SERVER.name]
+    assert big.meets_qos and small.meets_qos
+    # More low-power nodes...
+    assert small.nodes_needed > 2 * big.nodes_needed
+    # ...but less total power for the same served load.
+    assert small.total_power_watts < big.total_power_watts

@@ -1,0 +1,98 @@
+"""Shared fixtures for the table/figure regeneration benchmarks.
+
+The expensive artifacts — the native benchmark instance (corpus +
+partitioned index + ISN) and the calibration run that bridges native
+measurements into the simulator — are built once per pytest session and
+shared by every bench.  Each bench writes its regenerated table to
+``benchmarks/results/<id>.txt`` and prints it, so one
+``pytest benchmarks/ --benchmark-only`` run refreshes everything that
+EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.calibration import (
+    calibrate_isn,
+    cost_model_from_calibration,
+    demand_model_from_calibration,
+)
+from repro.corpus.generator import CorpusConfig
+from repro.corpus.querylog import QueryLogConfig
+from repro.corpus.vocabulary import VocabularyConfig
+from repro.engine.service import SearchService, SearchServiceConfig
+
+#: The reference benchmark instance every bench measures.
+BENCH_CORPUS = CorpusConfig(
+    num_documents=6_000,
+    vocabulary=VocabularyConfig(size=30_000, exponent=1.0, seed=7),
+    mean_length=250,
+    length_sigma=0.7,
+    seed=42,
+)
+BENCH_QUERY_LOG = QueryLogConfig(num_unique_queries=1_000, seed=1234)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def service():
+    """The native benchmark instance (single partition)."""
+    config = SearchServiceConfig(
+        corpus=BENCH_CORPUS, query_log=BENCH_QUERY_LOG, num_partitions=1
+    )
+    instance = SearchService(config)
+    yield instance
+    instance.close()
+
+
+@pytest.fixture(scope="session")
+def calibration(service):
+    """Affine work model fitted to the native engine."""
+    return calibrate_isn(
+        service.isn, service.query_log, num_queries=150, repeats=3, seed=0
+    )
+
+
+@pytest.fixture(scope="session")
+def demand_model(service, calibration):
+    """Calibrated per-query demand model for the simulator."""
+    return demand_model_from_calibration(
+        calibration, service.partitioned[0].index, service.query_log
+    )
+
+
+@pytest.fixture(scope="session")
+def cost_model(calibration):
+    """Calibrated partitioning cost model for the simulator."""
+    return cost_model_from_calibration(calibration)
+
+
+@pytest.fixture(scope="session")
+def positional_index(service):
+    """Positional index over the reference corpus (for phrase/snippet
+    characterization)."""
+    from repro.index.positional import PositionalIndexBuilder
+
+    return PositionalIndexBuilder(service.analyzer).build(service.collection)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def emit(results_dir, request):
+    """Write a rendered table to results/ and echo it to stdout."""
+
+    def _emit(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _emit

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""The paper's low-power study: can microservers serve web search?
+
+Compares a Xeon-class server against an Atom-class microserver across
+the partition sweep at equal offered load, then finds each machine's
+best QoS-compliant operating point and compares energy per query.
+
+Expected shape (the paper's finding): the low-power server needs
+several partitions to match the big server's unpartitioned response
+time — and does; at matched QoS it serves each query with a fraction
+of the energy.
+
+Run:  python examples/lowpower_study.py
+"""
+
+from repro.core.lowpower import (
+    compare_servers_vs_partitions,
+    matched_qos_energy,
+)
+from repro.core.reporting import format_series, format_table
+from repro.cluster.server import PartitionModelConfig
+from repro.servers.catalog import BIG_SERVER, SMALL_SERVER
+from repro.workload.servicetime import LognormalDemand
+
+PARTITIONS = [1, 2, 4, 8, 16]
+
+# A measured-shape demand model (mean ~8 ms, heavy tail), standing in
+# for a full native calibration to keep the example fast; see
+# examples/partitioning_study.py for the calibrated pipeline.
+DEMAND = LognormalDemand(mu=-5.0, sigma=0.8)
+COST_MODEL = PartitionModelConfig(
+    partition_overhead=0.0004, merge_base=0.0001, merge_per_partition=5e-5
+)
+
+
+def main() -> None:
+    small_capacity = SMALL_SERVER.compute_capacity / COST_MODEL.total_work(
+        DEMAND.mean_demand()
+    )
+    rate = 0.3 * small_capacity
+    print(f"Comparing servers at {rate:.0f} qps ...\n")
+
+    points = compare_servers_vs_partitions(
+        [BIG_SERVER, SMALL_SERVER],
+        DEMAND,
+        PARTITIONS,
+        rate,
+        cost_model=COST_MODEL,
+        num_queries=8_000,
+        seed=0,
+    )
+    series = {}
+    for point in points:
+        series.setdefault(point.server_name, {})[point.num_partitions] = (
+            point.summary.p99 * 1000
+        )
+    print(
+        format_series(
+            "p99 response time (ms) vs partitions",
+            "partitions",
+            PARTITIONS,
+            [
+                (name, [series[name][p] for p in PARTITIONS])
+                for name in (BIG_SERVER.name, SMALL_SERVER.name)
+            ],
+        )
+    )
+
+    big_p1 = series[BIG_SERVER.name][1]
+    best_small = min(series[SMALL_SERVER.name].items(), key=lambda kv: kv[1])
+    print(
+        f"\nbig server P=1 p99: {big_p1:.1f} ms | low-power best: "
+        f"{best_small[1]:.1f} ms at P={best_small[0]}"
+    )
+
+    qos = 4.0 * DEMAND.mean_demand()
+    print(f"\nMatched-QoS energy (p99 <= {qos * 1000:.1f} ms) ...\n")
+    rows = matched_qos_energy(
+        [BIG_SERVER, SMALL_SERVER],
+        DEMAND,
+        qos,
+        PARTITIONS,
+        cost_model=COST_MODEL,
+        num_queries=4_000,
+    )
+    print(
+        format_table(
+            ["server", "P", "qps", "p99_ms", "power_W", "J/query"],
+            [
+                [
+                    row.server_name,
+                    row.num_partitions,
+                    row.qps,
+                    row.p99_seconds * 1000,
+                    row.power_watts,
+                    row.energy_per_query_joules,
+                ]
+                for row in rows
+            ],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

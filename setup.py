@@ -1,0 +1,8 @@
+"""Setup shim: enables legacy editable installs (`pip install -e .
+--no-use-pep517`) on machines without the `wheel` package (PEP 517
+editable builds require it).  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

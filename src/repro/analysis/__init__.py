@@ -1,0 +1,23 @@
+"""Statistical analysis helpers for the characterization study."""
+
+from repro.analysis.distributions import (
+    ExponentialFit,
+    LognormalFit,
+    fit_exponential,
+    fit_lognormal,
+)
+from repro.analysis.queueing import MMcMetrics, erlang_c, mmc_metrics
+from repro.analysis.stats import bootstrap_ci, linear_fit, tail_index
+
+__all__ = [
+    "LognormalFit",
+    "ExponentialFit",
+    "fit_lognormal",
+    "fit_exponential",
+    "bootstrap_ci",
+    "linear_fit",
+    "tail_index",
+    "MMcMetrics",
+    "erlang_c",
+    "mmc_metrics",
+]

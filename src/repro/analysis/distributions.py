@@ -1,0 +1,96 @@
+"""Parametric distribution fitting for service-time characterization.
+
+The paper-style characterization asks *what shape* the service-time
+distribution has.  We fit the two standard candidates — log-normal
+(heavy-tailed body, the usual fit for search service times) and
+exponential (the memoryless null model) — by maximum likelihood, and
+report a Kolmogorov–Smirnov distance so the benchmarks can state which
+model fits better.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LognormalFit:
+    """MLE log-normal fit with goodness-of-fit distance."""
+
+    mu: float
+    sigma: float
+    ks_distance: float
+
+    def mean(self) -> float:
+        """Arithmetic mean implied by the fit."""
+        return math.exp(self.mu + self.sigma**2 / 2)
+
+    def median(self) -> float:
+        """Median implied by the fit."""
+        return math.exp(self.mu)
+
+    def percentile(self, quantile: float) -> float:
+        """Quantile of the fitted distribution, ``quantile`` in (0, 100)."""
+        from scipy.stats import norm
+
+        return math.exp(self.mu + self.sigma * norm.ppf(quantile / 100.0))
+
+
+@dataclass(frozen=True)
+class ExponentialFit:
+    """MLE exponential fit with goodness-of-fit distance."""
+
+    rate: float
+    ks_distance: float
+
+    def mean(self) -> float:
+        """Arithmetic mean implied by the fit (1/rate)."""
+        return 1.0 / self.rate
+
+
+def fit_lognormal(samples: Sequence[float]) -> LognormalFit:
+    """Fit a log-normal to positive ``samples`` by MLE."""
+    data = _validated(samples)
+    logs = np.log(data)
+    mu = float(logs.mean())
+    sigma = float(logs.std(ddof=0))
+    if sigma == 0:
+        sigma = 1e-12  # degenerate (constant) sample
+    from scipy.stats import norm
+
+    cdf = norm.cdf((np.log(np.sort(data)) - mu) / sigma)
+    return LognormalFit(mu=mu, sigma=sigma, ks_distance=_ks(cdf))
+
+
+def fit_exponential(samples: Sequence[float]) -> ExponentialFit:
+    """Fit an exponential to positive ``samples`` by MLE."""
+    data = _validated(samples)
+    rate = 1.0 / float(data.mean())
+    cdf = 1.0 - np.exp(-rate * np.sort(data))
+    return ExponentialFit(rate=rate, ks_distance=_ks(cdf))
+
+
+def _validated(samples: Sequence[float]) -> np.ndarray:
+    data = np.asarray(samples, dtype=np.float64)
+    if data.size == 0:
+        raise ValueError("cannot fit zero samples")
+    if np.any(data <= 0):
+        raise ValueError("distribution fits require positive samples")
+    return data
+
+
+def _ks(model_cdf_at_sorted_samples: np.ndarray) -> float:
+    """KS distance between the empirical CDF and a fitted model CDF."""
+    n = model_cdf_at_sorted_samples.size
+    empirical_high = np.arange(1, n + 1) / n
+    empirical_low = np.arange(0, n) / n
+    return float(
+        max(
+            np.abs(empirical_high - model_cdf_at_sorted_samples).max(),
+            np.abs(model_cdf_at_sorted_samples - empirical_low).max(),
+        )
+    )

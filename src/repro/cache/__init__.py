@@ -1,0 +1,18 @@
+"""Query result caching.
+
+Web search front-ends cache result pages: query popularity is Zipfian,
+so a small cache absorbs a large traffic share.  The characterization
+covers this benchmark functionality with:
+
+- :mod:`lru` — a generic LRU cache with hit/miss/eviction statistics;
+- :mod:`querycache` — the result-page cache keyed by normalized query,
+  pluggable into the native index serving node.
+
+For the simulated studies, :class:`repro.workload.cached.CachedDemand`
+models the same cache over the query stream's demands.
+"""
+
+from repro.cache.lru import CacheStats, LRUCache
+from repro.cache.querycache import QueryResultCache, make_cache_key
+
+__all__ = ["LRUCache", "CacheStats", "QueryResultCache", "make_cache_key"]

@@ -1,0 +1,85 @@
+"""A least-recently-used cache with statistics."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Generic, Hashable, Optional, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+#: Sentinel distinguishing "missing" from a cached None.
+_MISSING = object()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups served."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit (0.0 with no lookups)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class LRUCache(Generic[K, V]):
+    """Bounded mapping evicting the least-recently-used entry.
+
+    Both :meth:`get` and :meth:`put` refresh recency, matching the
+    result-cache semantics of search front-ends.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[K, V]" = OrderedDict()
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        # Membership test does not count as a lookup or refresh recency.
+        return key in self._entries
+
+    def get(self, key: K, default: Optional[V] = None) -> Optional[V]:
+        """Look up ``key``; refreshes recency and counts hit/miss."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self.stats.misses += 1
+            return default
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: K, value: V) -> None:
+        """Insert/overwrite ``key``; evicts the LRU entry when full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self._entries[key] = value
+            return
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[key] = value
+
+    def clear(self) -> None:
+        """Drop all entries (statistics are kept)."""
+        self._entries.clear()
+
+    def keys(self):
+        """Keys from least- to most-recently used."""
+        return list(self._entries.keys())

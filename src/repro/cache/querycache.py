@@ -1,0 +1,53 @@
+"""The result-page cache for the index serving node.
+
+Keys are built from the *analyzed* query (terms after the full
+analyzer chain) plus the page size and boolean mode, so textual
+variants that normalize identically ("Web Search" / "web searching")
+share one entry — exactly how search front-ends key their caches.
+The index is immutable in this benchmark, so entries never go stale
+and no invalidation protocol is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.cache.lru import CacheStats, LRUCache
+from repro.search.query import ParsedQuery
+from repro.search.topk import SearchHit
+
+CacheKey = Tuple[Tuple[str, ...], int, str]
+
+
+def make_cache_key(query: ParsedQuery) -> CacheKey:
+    """Build the canonical cache key for a parsed query."""
+    return (query.terms, query.k, query.mode.value)
+
+
+class QueryResultCache:
+    """LRU cache of result pages, keyed by normalized query."""
+
+    def __init__(self, capacity: int):
+        self._cache: LRUCache[CacheKey, Tuple[SearchHit, ...]] = LRUCache(
+            capacity
+        )
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    @property
+    def stats(self) -> CacheStats:
+        """Hit/miss/eviction counters."""
+        return self._cache.stats
+
+    def lookup(self, query: ParsedQuery) -> Optional[Tuple[SearchHit, ...]]:
+        """Return the cached page for ``query`` or None on miss."""
+        return self._cache.get(make_cache_key(query))
+
+    def store(self, query: ParsedQuery, hits: Tuple[SearchHit, ...]) -> None:
+        """Cache the result page for ``query``."""
+        self._cache.put(make_cache_key(query), tuple(hits))
+
+    def clear(self) -> None:
+        """Drop every cached page."""
+        self._cache.clear()

@@ -1,0 +1,342 @@
+"""Command-line interface: run the paper's studies from a shell.
+
+``python -m repro <command>`` exposes the main studies with small,
+fast default configurations:
+
+- ``quickstart`` — build the benchmark and answer a few queries;
+- ``characterize`` — service-time distribution (F1);
+- ``partition-sweep`` — tail latency vs. partition count (F4);
+- ``lowpower`` — big vs. low-power server comparison (F6);
+- ``capacity`` — QoS-bounded max throughput vs. partitions (F5);
+- ``cache`` — result-cache hit rates (F11a);
+- ``profile-log`` — workload-side characterization of the query log;
+- ``report`` — full Markdown characterization report.
+
+Every command accepts ``--docs``/``--seed`` to scale and reseed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.cluster.server import PartitionModelConfig
+from repro.core.calibration import (
+    calibrate_isn,
+    cost_model_from_calibration,
+    demand_model_from_calibration,
+)
+from repro.core.capacity import capacity_vs_partitions
+from repro.core.caching import hit_rate_vs_capacity
+from repro.core.characterization import characterize_service_times
+from repro.core.lowpower import compare_servers_vs_partitions
+from repro.core.partitioning import run_partitioning_sweep
+from repro.core.reporting import format_series, format_table
+from repro.corpus.generator import CorpusConfig
+from repro.corpus.querylog import QueryLogConfig
+from repro.corpus.vocabulary import VocabularyConfig
+from repro.engine.service import SearchService, SearchServiceConfig
+from repro.servers.catalog import BIG_SERVER, SMALL_SERVER
+
+DEFAULT_PARTITIONS = (1, 2, 4, 8)
+
+
+def _build_service(args: argparse.Namespace, num_partitions: int = 1) -> SearchService:
+    config = SearchServiceConfig(
+        corpus=CorpusConfig(
+            num_documents=args.docs,
+            vocabulary=VocabularyConfig(size=max(2_000, args.docs * 5)),
+            mean_length=150,
+            seed=args.seed,
+        ),
+        query_log=QueryLogConfig(
+            num_unique_queries=min(500, max(50, args.docs // 10)),
+            seed=args.seed + 1,
+        ),
+        num_partitions=num_partitions,
+    )
+    return SearchService(config)
+
+
+def _calibrated_models(args: argparse.Namespace):
+    with _build_service(args) as service:
+        calibration = calibrate_isn(
+            service.isn, service.query_log, num_queries=80, repeats=2,
+            seed=args.seed,
+        )
+        demand = demand_model_from_calibration(
+            calibration, service.partitioned[0].index, service.query_log
+        )
+    return demand, cost_model_from_calibration(calibration)
+
+
+def cmd_quickstart(args: argparse.Namespace) -> int:
+    with _build_service(args, num_partitions=4) as service:
+        print(
+            f"indexed {len(service.collection)} documents into 4 partitions"
+        )
+        for query in list(service.query_log)[: args.queries]:
+            response = service.search(query.text, k=3)
+            print(
+                f"  {query.text!r}: {len(response.hits)} hits in "
+                f"{response.timings.total_seconds * 1000:.2f} ms"
+            )
+    return 0
+
+
+def cmd_characterize(args: argparse.Namespace) -> int:
+    with _build_service(args) as service:
+        result = characterize_service_times(
+            service.isn, service.query_log, num_queries=args.queries,
+            seed=args.seed,
+        )
+    summary = result.summary.scaled(1000.0)
+    print(
+        format_table(
+            ["statistic", "value"],
+            [
+                ["queries", summary.count],
+                ["mean (ms)", summary.mean],
+                ["p50 (ms)", summary.p50],
+                ["p99 (ms)", summary.p99],
+                ["p99/p50", result.tail_ratio],
+                ["lognormal KS", result.lognormal.ks_distance],
+                ["exponential KS", result.exponential.ks_distance],
+            ],
+            title="Service-time characterization",
+        )
+    )
+    return 0
+
+
+def cmd_partition_sweep(args: argparse.Namespace) -> int:
+    demand, cost_model = _calibrated_models(args)
+    capacity = BIG_SERVER.compute_capacity / cost_model.total_work(
+        demand.mean_demand()
+    )
+    rate = args.load_fraction * capacity
+    points = run_partitioning_sweep(
+        BIG_SERVER, demand, list(args.partitions), rate,
+        cost_model=cost_model, num_queries=args.sim_queries, seed=args.seed,
+    )
+    print(
+        format_series(
+            f"Latency vs partitions ({rate:.0f} qps)",
+            "partitions",
+            list(args.partitions),
+            [
+                ("p50_ms", [p.summary.p50 * 1000 for p in points]),
+                ("p99_ms", [p.summary.p99 * 1000 for p in points]),
+                ("util", [p.utilization for p in points]),
+            ],
+        )
+    )
+    return 0
+
+
+def cmd_lowpower(args: argparse.Namespace) -> int:
+    demand, cost_model = _calibrated_models(args)
+    small_capacity = SMALL_SERVER.compute_capacity / cost_model.total_work(
+        demand.mean_demand()
+    )
+    rate = args.load_fraction * small_capacity
+    points = compare_servers_vs_partitions(
+        [BIG_SERVER, SMALL_SERVER], demand, list(args.partitions), rate,
+        cost_model=cost_model, num_queries=args.sim_queries, seed=args.seed,
+    )
+    series: dict = {}
+    for point in points:
+        series.setdefault(point.server_name, {})[point.num_partitions] = point
+    print(
+        format_series(
+            f"p99 (ms) vs partitions at {rate:.0f} qps",
+            "partitions",
+            list(args.partitions),
+            [
+                (
+                    name,
+                    [
+                        series[name][p].summary.p99 * 1000
+                        for p in args.partitions
+                    ],
+                )
+                for name in series
+            ],
+        )
+    )
+    return 0
+
+
+def cmd_capacity(args: argparse.Namespace) -> int:
+    demand, cost_model = _calibrated_models(args)
+    qos = args.qos_ms / 1000.0
+    points = capacity_vs_partitions(
+        BIG_SERVER, demand, list(args.partitions), qos,
+        cost_model=cost_model, num_queries=args.sim_queries,
+        tolerance_qps=max(
+            2.0, 0.02 * BIG_SERVER.compute_capacity / demand.mean_demand()
+        ),
+        seed=args.seed,
+    )
+    print(
+        format_table(
+            ["partitions", "max_qps", "p99_at_max_ms"],
+            [
+                [p.num_partitions, p.max_qps, p.p99_at_max * 1000]
+                for p in points
+            ],
+            title=f"Max throughput under p99 <= {args.qos_ms:.1f} ms",
+        )
+    )
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    with _build_service(args) as service:
+        log = service.query_log
+    capacities = [c for c in (10, 30, 100, 300) if c <= len(log)] or [10]
+    rates = hit_rate_vs_capacity(log, capacities, seed=args.seed)
+    print(
+        format_series(
+            f"LRU hit rate ({len(log)} unique queries)",
+            "capacity",
+            capacities,
+            [("hit_rate", rates)],
+        )
+    )
+    return 0
+
+
+def cmd_profile_log(args: argparse.Namespace) -> int:
+    from repro.corpus.loganalysis import profile_query_log
+
+    with _build_service(args) as service:
+        profile = profile_query_log(service.query_log, stream_length=30_000,
+                                    seed=args.seed)
+    mix_rows = [
+        [terms, round(share, 3)]
+        for terms, share in sorted(profile.term_count_mix.items())
+    ]
+    print(
+        format_table(
+            ["property", "value"],
+            [
+                ["unique queries", profile.num_unique_queries],
+                ["mean terms/query", round(profile.mean_terms_per_query, 2)],
+                [
+                    "popularity Zipf exponent (measured)",
+                    round(profile.estimated_popularity_exponent, 3),
+                ],
+                ["fit R^2", round(profile.popularity_fit_r_squared, 3)],
+                [
+                    "top 1% traffic share",
+                    round(profile.top_1pct_traffic_share, 3),
+                ],
+                [
+                    "top 10% traffic share",
+                    round(profile.top_10pct_traffic_share, 3),
+                ],
+            ],
+            title="Query-log profile",
+        )
+    )
+    print()
+    print(format_table(["terms", "share"], mix_rows, title="Term-count mix"))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.report import ReportOptions, characterization_report
+
+    with _build_service(args) as service:
+        report = characterization_report(
+            service,
+            ReportOptions(num_queries=args.queries, seed=args.seed),
+            path=args.output,
+        )
+    if args.output:
+        print(f"report written to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Web search benchmark characterization (ISPASS 2015 reproduction)",
+    )
+    parser.add_argument("--docs", type=int, default=1_500,
+                        help="corpus size (documents)")
+    parser.add_argument("--seed", type=int, default=0, help="master seed")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    quickstart = subparsers.add_parser(
+        "quickstart", help="build the benchmark and answer queries"
+    )
+    quickstart.add_argument("--queries", type=int, default=5)
+    quickstart.set_defaults(handler=cmd_quickstart)
+
+    characterize = subparsers.add_parser(
+        "characterize", help="service-time distribution (F1)"
+    )
+    characterize.add_argument("--queries", type=int, default=150)
+    characterize.set_defaults(handler=cmd_characterize)
+
+    def add_sim_args(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--partitions", type=int, nargs="+", default=list(DEFAULT_PARTITIONS)
+        )
+        sub.add_argument("--sim-queries", type=int, default=4_000)
+        sub.add_argument("--load-fraction", type=float, default=0.35)
+
+    sweep = subparsers.add_parser(
+        "partition-sweep", help="tail latency vs partition count (F4)"
+    )
+    add_sim_args(sweep)
+    sweep.set_defaults(handler=cmd_partition_sweep)
+
+    lowpower = subparsers.add_parser(
+        "lowpower", help="big vs low-power server (F6)"
+    )
+    add_sim_args(lowpower)
+    lowpower.set_defaults(handler=cmd_lowpower)
+
+    capacity = subparsers.add_parser(
+        "capacity", help="QoS-bounded max throughput (F5)"
+    )
+    add_sim_args(capacity)
+    capacity.add_argument("--qos-ms", type=float, default=30.0)
+    capacity.set_defaults(handler=cmd_capacity)
+
+    cache = subparsers.add_parser(
+        "cache", help="result-cache hit rates (F11a)"
+    )
+    cache.set_defaults(handler=cmd_cache)
+
+    profile = subparsers.add_parser(
+        "profile-log", help="workload characterization of the query log"
+    )
+    profile.set_defaults(handler=cmd_profile_log)
+
+    report = subparsers.add_parser(
+        "report", help="full Markdown characterization report"
+    )
+    report.add_argument("--queries", type=int, default=150)
+    report.add_argument("--output", default=None,
+                        help="write to a file instead of stdout")
+    report.set_defaults(handler=cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

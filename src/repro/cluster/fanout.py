@@ -1,0 +1,215 @@
+"""Simulated multi-server fan-out: the cluster tier of the benchmark.
+
+The full benchmark architecture shards the collection across ``N``
+index serving nodes; a broker broadcasts each query to all of them and
+merges their pages.  This module models that tier in the DES: each ISN
+is an independent fork-join server (own cores, own partitions), a query
+completes when the *slowest* ISN responds plus broker merge — the
+"tail at scale" structure where the cluster's latency is an order
+statistic of per-node latencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.cluster.results import QueryRecord
+from repro.cluster.server import PartitionModelConfig, SimulatedServer
+from repro.metrics.summary import LatencySummary, summarize
+from repro.servers.spec import ServerSpec
+from repro.sim.engine import Simulator
+from repro.sim.network import NetworkModel, NoDelay
+from repro.sim.random import RandomStreams
+from repro.workload.scenario import WorkloadScenario
+
+
+@dataclass(frozen=True)
+class FanoutConfig:
+    """A homogeneous cluster of ISNs behind one broker.
+
+    Attributes
+    ----------
+    num_servers:
+        ISNs the collection is sharded across; each receives ``1/N`` of
+        every query's work (document-sharded indexes scale down
+        per-node postings volume linearly).
+    spec:
+        Server model of every ISN.
+    partitioning:
+        Intra-server partitioning cost model of every ISN.
+    network:
+        One-way delay model applied per hop (client→broker→ISN and
+        back); the broker hop is where fan-out skew accumulates.
+    broker_merge_per_server:
+        Broker-side merge cost per responding ISN, in seconds.
+    server_imbalance_concentration:
+        Dirichlet concentration of each query's work split across
+        servers — document sharding never splits a query's postings
+        volume perfectly evenly, and this per-(query, server) jitter is
+        what the broker's wait-for-the-slowest amplifies at scale.
+    """
+
+    num_servers: int
+    spec: ServerSpec
+    partitioning: PartitionModelConfig = field(
+        default_factory=PartitionModelConfig
+    )
+    network: NetworkModel = field(default_factory=NoDelay)
+    broker_merge_per_server: float = 2e-5
+    server_imbalance_concentration: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.num_servers <= 0:
+            raise ValueError("num_servers must be positive")
+        if self.broker_merge_per_server < 0:
+            raise ValueError("broker_merge_per_server must be non-negative")
+        if self.server_imbalance_concentration <= 0:
+            raise ValueError("server_imbalance_concentration must be positive")
+
+
+@dataclass
+class FanoutQueryRecord:
+    """Timeline of one query through the fan-out cluster."""
+
+    query_id: int
+    client_send: float
+    total_demand: float
+    isn_completions: List[float] = field(default_factory=list)
+    client_receive: float = float("nan")
+
+    @property
+    def complete(self) -> bool:
+        return not np.isnan(self.client_receive)
+
+    @property
+    def latency(self) -> float:
+        """End-to-end response time."""
+        return self.client_receive - self.client_send
+
+    @property
+    def slowest_isn_completion(self) -> float:
+        """When the straggler ISN finished."""
+        return max(self.isn_completions)
+
+    @property
+    def fanout_skew(self) -> float:
+        """Slowest minus fastest ISN completion."""
+        return max(self.isn_completions) - min(self.isn_completions)
+
+
+@dataclass
+class FanoutResult:
+    """All per-query records of one fan-out simulation."""
+
+    records: List[FanoutQueryRecord]
+    horizon: float
+    num_servers: int
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def latencies(self, warmup_fraction: float = 0.0) -> np.ndarray:
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        skip = int(len(self.records) * warmup_fraction)
+        return np.array([r.latency for r in self.records[skip:]])
+
+    def summary(self, warmup_fraction: float = 0.0) -> LatencySummary:
+        return summarize(self.latencies(warmup_fraction))
+
+    def mean_fanout_skew(self) -> float:
+        """Average straggler skew across queries."""
+        return float(np.mean([r.fanout_skew for r in self.records]))
+
+
+def run_fanout_open_loop(
+    config: FanoutConfig,
+    scenario: WorkloadScenario,
+    seed: int = 0,
+) -> FanoutResult:
+    """Simulate the cluster under an open-loop arrival process.
+
+    ``scenario`` demands are *whole-query* demands; each ISN executes
+    ``demand / num_servers`` (its index slice) through its own
+    fork-join partition model.
+    """
+    streams = RandomStreams(seed)
+    arrival_times, demands = scenario.realize(
+        streams.stream("arrivals"), streams.stream("demands")
+    )
+    network_rng = streams.stream("network")
+
+    sim = Simulator()
+    records: List[FanoutQueryRecord] = []
+    pending: dict = {}
+
+    def make_isn_completion(record: FanoutQueryRecord) -> Callable:
+        def on_complete(server_record: QueryRecord) -> None:
+            arrival = server_record.merge_end + config.network.delay(
+                network_rng
+            )
+            record.isn_completions.append(arrival)
+            pending[record.query_id] -= 1
+            if pending[record.query_id] == 0:
+                merge_done = (
+                    max(record.isn_completions)
+                    + config.broker_merge_per_server * config.num_servers
+                )
+                record.client_receive = merge_done + config.network.delay(
+                    network_rng
+                )
+                records.append(record)
+
+        return on_complete
+
+    servers = []
+    completion_handlers = {}
+    for server_index in range(config.num_servers):
+        servers.append(
+            SimulatedServer(
+                sim,
+                config.spec,
+                config.partitioning,
+                imbalance_rng=streams.stream(f"imbalance-{server_index}"),
+                on_complete=lambda rec: completion_handlers[id(rec)](rec),
+            )
+        )
+
+    shard_rng = streams.stream("server-imbalance")
+    for query_id, (send_time, demand) in enumerate(zip(arrival_times, demands)):
+        record = FanoutQueryRecord(
+            query_id=query_id,
+            client_send=float(send_time),
+            total_demand=float(demand),
+        )
+        pending[query_id] = config.num_servers
+        handler = make_isn_completion(record)
+        if config.num_servers == 1:
+            shares = np.ones(1)
+        else:
+            shares = shard_rng.dirichlet(
+                np.full(
+                    config.num_servers, config.server_imbalance_concentration
+                )
+            )
+        for server, share in zip(servers, shares):
+            server_record = QueryRecord(
+                query_id=query_id,
+                client_send=float(send_time),
+                demand=float(demand) * float(share),
+            )
+            completion_handlers[id(server_record)] = handler
+            arrival = float(send_time) + config.network.delay(network_rng)
+            sim.schedule(arrival, server.handle_arrival, server_record)
+
+    sim.run()
+    incomplete = [r for r in pending.values() if r != 0]
+    if incomplete:
+        raise RuntimeError(f"{len(incomplete)} queries never completed")
+    records.sort(key=lambda record: record.client_send)
+    return FanoutResult(
+        records=records, horizon=sim.now, num_servers=config.num_servers
+    )

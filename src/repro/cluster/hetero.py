@@ -1,0 +1,180 @@
+"""Heterogeneous fleet: big and little servers behind one router.
+
+The paper asks whether low-power servers can serve web search; the
+natural follow-on is whether a *mixed* fleet can — little servers
+soaking up the cheap queries (most of them, under Zipf) while a few
+big servers absorb the expensive tail.  This module simulates one
+shard served by ``num_big`` big and ``num_little`` little replicas,
+with a router that either ignores query cost (random spray) or routes
+by a demand threshold (cheap → little, expensive → big; the "oracle"
+router, since real engines estimate cost well from term statistics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.results import QueryRecord
+from repro.cluster.server import PartitionModelConfig, SimulatedServer
+from repro.metrics.summary import LatencySummary, summarize
+from repro.servers.power import PowerModel
+from repro.servers.spec import ServerSpec
+from repro.sim.engine import Simulator
+from repro.sim.random import RandomStreams
+from repro.workload.scenario import WorkloadScenario
+
+
+@dataclass(frozen=True)
+class HeterogeneousConfig:
+    """A mixed single-shard fleet and its routing policy.
+
+    Attributes
+    ----------
+    big_spec / num_big:
+        The big-server replica group.
+    little_spec / num_little:
+        The little-server replica group.
+    partitioning:
+        Intra-server partitioning cost model (applies to every server).
+    demand_threshold:
+        Queries with demand above this route to the big group, the rest
+        to the little group.  ``None`` sprays uniformly over all
+        servers (cost-oblivious baseline).  Groups of size zero receive
+        the other group's traffic.
+    """
+
+    big_spec: ServerSpec
+    num_big: int
+    little_spec: ServerSpec
+    num_little: int
+    partitioning: PartitionModelConfig = field(
+        default_factory=PartitionModelConfig
+    )
+    demand_threshold: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.num_big < 0 or self.num_little < 0:
+            raise ValueError("server counts must be non-negative")
+        if self.num_big + self.num_little == 0:
+            raise ValueError("fleet needs at least one server")
+        if self.demand_threshold is not None and self.demand_threshold < 0:
+            raise ValueError("demand_threshold must be non-negative")
+
+
+@dataclass
+class HeterogeneousResult:
+    """Latency and power outcome of one mixed-fleet run."""
+
+    records: List[QueryRecord]
+    horizon: float
+    per_server_utilization: List[float]
+    per_server_power_watts: List[float]
+    routed_to_big: int
+    routed_to_little: int
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def latencies(self, warmup_fraction: float = 0.0) -> np.ndarray:
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        skip = int(len(self.records) * warmup_fraction)
+        return np.array([r.latency for r in self.records[skip:]])
+
+    def summary(self, warmup_fraction: float = 0.0) -> LatencySummary:
+        return summarize(self.latencies(warmup_fraction))
+
+    @property
+    def total_power_watts(self) -> float:
+        """Fleet wall power at the observed utilizations."""
+        return float(sum(self.per_server_power_watts))
+
+    def energy_per_query_joules(self) -> float:
+        """Average fleet joules per completed query."""
+        if not self.records or self.horizon <= 0:
+            raise ValueError("no completed queries")
+        qps = len(self.records) / self.horizon
+        return self.total_power_watts / qps
+
+
+def run_heterogeneous_open_loop(
+    config: HeterogeneousConfig,
+    scenario: WorkloadScenario,
+    seed: int = 0,
+) -> HeterogeneousResult:
+    """Simulate the mixed fleet under open-loop arrivals.
+
+    Within the chosen group the router picks the server whose cores
+    free up earliest (an idealized join-the-shortest-queue).
+    """
+    streams = RandomStreams(seed)
+    arrival_times, demands = scenario.realize(
+        streams.stream("arrivals"), streams.stream("demands")
+    )
+
+    sim = Simulator()
+    records: List[QueryRecord] = []
+
+    def complete(record: QueryRecord) -> None:
+        record.client_receive = record.merge_end
+        records.append(record)
+
+    def make_group(spec: ServerSpec, count: int, name: str):
+        return [
+            SimulatedServer(
+                sim,
+                spec,
+                config.partitioning,
+                imbalance_rng=streams.stream(f"imbalance-{name}-{i}"),
+                on_complete=complete,
+            )
+            for i in range(count)
+        ]
+
+    big_group = make_group(config.big_spec, config.num_big, "big")
+    little_group = make_group(config.little_spec, config.num_little, "little")
+    all_servers = big_group + little_group
+    spray_rng = streams.stream("routing")
+    routed = {"big": 0, "little": 0}
+
+    def route(record: QueryRecord) -> None:
+        if config.demand_threshold is None:
+            server = all_servers[spray_rng.integers(len(all_servers))]
+            routed["big" if server in big_group else "little"] += 1
+        else:
+            use_big = record.demand > config.demand_threshold
+            group = big_group if use_big else little_group
+            if not group:
+                group = little_group if use_big else big_group
+            server = min(group, key=lambda s: s.cores.next_free_time())
+            routed["big" if group is big_group else "little"] += 1
+        server.handle_arrival(record)
+
+    for query_id, (send_time, demand) in enumerate(zip(arrival_times, demands)):
+        record = QueryRecord(
+            query_id=query_id,
+            client_send=float(send_time),
+            demand=float(demand),
+        )
+        sim.schedule(float(send_time), route, record)
+
+    sim.run()
+    records.sort(key=lambda record: record.client_send)
+
+    utilizations = []
+    powers = []
+    for server in all_servers:
+        utilization = min(1.0, server.cores.utilization(max(sim.now, 1e-12)))
+        utilizations.append(utilization)
+        powers.append(PowerModel(server.spec).power_at(utilization))
+    return HeterogeneousResult(
+        records=records,
+        horizon=sim.now,
+        per_server_utilization=utilizations,
+        per_server_power_watts=powers,
+        routed_to_big=routed["big"],
+        routed_to_little=routed["little"],
+    )

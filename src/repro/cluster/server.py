@@ -1,0 +1,155 @@
+"""The simulated index serving node: fork-join over partition tasks.
+
+A query arriving with total service demand ``W`` (reference-core
+seconds) is split into ``P`` partition tasks.  Task ``i`` receives
+``W · s_i + α`` where the shares ``s_i`` are Dirichlet-distributed with
+mean ``1/P`` (shards never split work perfectly evenly) and ``α`` is the
+fixed per-partition overhead (dispatch, per-shard query setup, its slice
+of the result copy).  Tasks queue FCFS on the server's cores; when the
+last task finishes, a merge task of ``m₀ + m₁·P`` runs, and the response
+leaves the server.
+
+This fork-join structure is exactly the mechanism behind the paper's
+two findings: splitting ``W`` across cores shortens the *intrinsic* long
+queries (tail shrinks), while the ``α``/merge terms inflate total work
+(throughput eventually suffers) — and a slow-cored server can buy back
+single-query latency by increasing ``P``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.cluster.results import QueryRecord
+from repro.servers.spec import ServerSpec
+from repro.sim.engine import Simulator
+from repro.sim.hiccups import HiccupSchedule
+from repro.sim.resources import CoreBank
+
+
+@dataclass(frozen=True)
+class PartitionModelConfig:
+    """Cost model of intra-server partitioning.
+
+    Attributes
+    ----------
+    num_partitions:
+        ``P`` — the quantity the paper's central study sweeps.
+    partition_overhead:
+        ``α`` — fixed reference-core seconds added to every partition
+        task (per-shard dispatch + setup).  Calibrated from the native
+        engine; default 0.3 ms.
+    imbalance_concentration:
+        Dirichlet concentration of the work split across shards.  Higher
+        is more even; ~60 reproduces the few-percent imbalance measured
+        for round-robin document sharding.
+    merge_base:
+        ``m₀`` — fixed merge cost in reference-core seconds.
+    merge_per_partition:
+        ``m₁`` — additional merge cost per partition (k more hits to
+        merge for every extra shard).
+    """
+
+    num_partitions: int = 1
+    partition_overhead: float = 0.0003
+    imbalance_concentration: float = 60.0
+    merge_base: float = 0.0002
+    merge_per_partition: float = 0.0001
+
+    def __post_init__(self) -> None:
+        if self.num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        if self.partition_overhead < 0:
+            raise ValueError("partition_overhead must be non-negative")
+        if self.imbalance_concentration <= 0:
+            raise ValueError("imbalance_concentration must be positive")
+        if self.merge_base < 0 or self.merge_per_partition < 0:
+            raise ValueError("merge costs must be non-negative")
+
+    def merge_demand(self) -> float:
+        """Reference-core seconds the merge step costs at this ``P``."""
+        return self.merge_base + self.merge_per_partition * self.num_partitions
+
+    def total_work(self, demand: float) -> float:
+        """Total reference-core seconds a query of ``demand`` costs."""
+        return (
+            demand
+            + self.num_partitions * self.partition_overhead
+            + self.merge_demand()
+        )
+
+
+class SimulatedServer:
+    """One simulated ISN bound to a simulator, spec, and cost model."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: ServerSpec,
+        partitioning: PartitionModelConfig,
+        imbalance_rng: np.random.Generator,
+        on_complete: Optional[Callable[[QueryRecord], None]] = None,
+        hiccups: Optional[HiccupSchedule] = None,
+    ):
+        self.sim = sim
+        self.spec = spec
+        self.partitioning = partitioning
+        self.cores = CoreBank(
+            spec.num_cores, speed=spec.core_speed, hiccups=hiccups
+        )
+        self._imbalance_rng = imbalance_rng
+        self._on_complete = on_complete
+
+    def handle_arrival(self, record: QueryRecord) -> None:
+        """Process a query arriving now (``sim.now``); fork its tasks."""
+        now = self.sim.now
+        record.server_arrival = now
+        config = self.partitioning
+        shares = self._work_shares(config.num_partitions)
+
+        first_start = float("inf")
+        earliest_end = float("inf")
+        last_end = 0.0
+        for share in shares:
+            task_demand = record.demand * share + config.partition_overhead
+            start, end = self.cores.submit(now, task_demand)
+            first_start = min(first_start, start)
+            earliest_end = min(earliest_end, end)
+            last_end = max(last_end, end)
+
+        record.first_task_start = first_start
+        record.earliest_task_end = earliest_end
+        record.last_task_end = last_end
+        if config.merge_demand() > 0:
+            self.sim.schedule(last_end, self._start_merge, record)
+        else:
+            # A zero-cost merge completes inline with the last task; it
+            # must not re-queue behind other queries' tasks for a core.
+            self.sim.schedule(last_end, self._complete_without_merge, record)
+
+    def _work_shares(self, num_partitions: int) -> np.ndarray:
+        if num_partitions == 1:
+            return np.ones(1)
+        concentration = self.partitioning.imbalance_concentration
+        return self._imbalance_rng.dirichlet(
+            np.full(num_partitions, concentration)
+        )
+
+    def _start_merge(self, record: QueryRecord) -> None:
+        start, end = self.cores.submit(self.sim.now, self.partitioning.merge_demand())
+        record.merge_start = start
+        self.sim.schedule(end, self._finish_merge, record)
+
+    def _finish_merge(self, record: QueryRecord) -> None:
+        record.merge_end = self.sim.now
+        if self._on_complete is not None:
+            self._on_complete(record)
+
+    def _complete_without_merge(self, record: QueryRecord) -> None:
+        record.merge_start = self.sim.now
+        record.merge_end = self.sim.now
+        if self._on_complete is not None:
+            self._on_complete(record)

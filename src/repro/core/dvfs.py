@@ -1,0 +1,126 @@
+"""DVFS study (extension figure F13): frequency vs. partitioning.
+
+The low-power result (F6) compares two machines; DVFS asks the same
+question *within* one machine: if the big server's cores are clocked
+down (cubic dynamic-power savings), how much response time is lost —
+and can intra-server partitioning buy it back?  For each frequency
+factor we report latency and energy per query at a fixed load, plus
+the smallest partition count that restores the full-frequency p99.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+from repro.cluster.server import PartitionModelConfig
+from repro.cluster.simulation import ClusterConfig, run_open_loop
+from repro.metrics.summary import LatencySummary
+from repro.servers.power import PowerModel
+from repro.servers.spec import ServerSpec
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.scenario import WorkloadScenario
+from repro.workload.servicetime import ServiceDemandModel
+
+
+@dataclass(frozen=True)
+class DvfsPoint:
+    """One frequency setting's latency/energy outcome."""
+
+    frequency_factor: float
+    num_partitions: int
+    summary: LatencySummary
+    utilization: float
+    power_watts: float
+    energy_per_query_joules: float
+    compensating_partitions: Optional[int]
+
+
+def _simulate(
+    spec: ServerSpec,
+    demands: ServiceDemandModel,
+    cost_model: PartitionModelConfig,
+    num_partitions: int,
+    rate_qps: float,
+    num_queries: int,
+    warmup_fraction: float,
+    seed: int,
+):
+    config = ClusterConfig(
+        spec=spec,
+        partitioning=replace(cost_model, num_partitions=num_partitions),
+    )
+    scenario = WorkloadScenario(
+        arrivals=PoissonArrivals(rate_qps),
+        demands=demands,
+        num_queries=num_queries,
+    )
+    result = run_open_loop(config, scenario, seed=seed)
+    return result.summary(warmup_fraction), result.utilization()
+
+
+def dvfs_study(
+    spec: ServerSpec,
+    demands: ServiceDemandModel,
+    frequency_factors: Sequence[float],
+    rate_qps: float,
+    cost_model: PartitionModelConfig = PartitionModelConfig(),
+    compensation_partitions: Sequence[int] = (1, 2, 4, 8, 16),
+    num_queries: int = 5_000,
+    warmup_fraction: float = 0.1,
+    seed: int = 0,
+) -> List[DvfsPoint]:
+    """F13: sweep core frequency at fixed load and partition count 1.
+
+    For every down-clocked point, additionally search
+    ``compensation_partitions`` for the smallest partition count whose
+    p99 is back at (or below) the full-frequency P=1 p99; None when no
+    tried count compensates.
+    """
+    if not frequency_factors:
+        raise ValueError("need at least one frequency factor")
+    if any(factor <= 0 for factor in frequency_factors):
+        raise ValueError("frequency factors must be positive")
+    if rate_qps <= 0:
+        raise ValueError("rate_qps must be positive")
+
+    baseline_summary, _ = _simulate(
+        spec, demands, cost_model, 1, rate_qps, num_queries,
+        warmup_fraction, seed,
+    )
+    target_p99 = baseline_summary.p99
+
+    points: List[DvfsPoint] = []
+    for factor in frequency_factors:
+        scaled = spec.scaled(factor)
+        summary, utilization = _simulate(
+            scaled, demands, cost_model, 1, rate_qps, num_queries,
+            warmup_fraction, seed,
+        )
+        power = PowerModel(scaled).power_at(min(1.0, utilization))
+        compensating: Optional[int] = None
+        if summary.p99 <= target_p99:
+            compensating = 1
+        else:
+            for num_partitions in sorted(compensation_partitions):
+                if num_partitions == 1:
+                    continue
+                candidate, _ = _simulate(
+                    scaled, demands, cost_model, num_partitions, rate_qps,
+                    num_queries, warmup_fraction, seed,
+                )
+                if candidate.p99 <= target_p99:
+                    compensating = num_partitions
+                    break
+        points.append(
+            DvfsPoint(
+                frequency_factor=float(factor),
+                num_partitions=1,
+                summary=summary,
+                utilization=utilization,
+                power_watts=power,
+                energy_per_query_joules=power / rate_qps,
+                compensating_partitions=compensating,
+            )
+        )
+    return points

@@ -1,0 +1,64 @@
+"""Response time vs. offered load (figure F3).
+
+Sweeps the open-loop arrival rate against one simulated server
+configuration and records the latency summary at each point — the
+classic hockey-stick curve whose knee defines the server's usable
+operating region, and on which the p99 diverges far before the mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.cluster.simulation import ClusterConfig, run_open_loop
+from repro.metrics.summary import LatencySummary
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.scenario import WorkloadScenario
+from repro.workload.servicetime import ServiceDemandModel
+
+
+@dataclass(frozen=True)
+class LoadPoint:
+    """One (offered load → latency) measurement."""
+
+    offered_qps: float
+    achieved_qps: float
+    utilization: float
+    summary: LatencySummary
+
+
+def run_load_sweep(
+    config: ClusterConfig,
+    demands: ServiceDemandModel,
+    rates: Sequence[float],
+    num_queries: int = 5_000,
+    warmup_fraction: float = 0.1,
+    seed: int = 0,
+) -> List[LoadPoint]:
+    """Simulate each offered rate and summarize the latencies.
+
+    All points share the same seed (common random numbers), so the
+    curve's shape reflects load alone, not sampling noise.
+    """
+    if not rates:
+        raise ValueError("need at least one rate")
+    if any(rate <= 0 for rate in rates):
+        raise ValueError("rates must be positive")
+    points: List[LoadPoint] = []
+    for rate in rates:
+        scenario = WorkloadScenario(
+            arrivals=PoissonArrivals(rate),
+            demands=demands,
+            num_queries=num_queries,
+        )
+        result = run_open_loop(config, scenario, seed=seed)
+        points.append(
+            LoadPoint(
+                offered_qps=float(rate),
+                achieved_qps=result.achieved_qps(),
+                utilization=result.utilization(),
+                summary=result.summary(warmup_fraction=warmup_fraction),
+            )
+        )
+    return points

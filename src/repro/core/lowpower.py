@@ -1,0 +1,158 @@
+"""Low-power vs. conventional server study (figures F6/F7).
+
+The paper's second headline result: a low-power server's slow cores
+make it uncompetitive at one partition per server, but *intra-query
+parallelism is a substitute for core speed* — with enough partitions
+its response times converge to the big server's.  F6 sweeps partitions
+for both server specs at the same offered load; F7 compares energy per
+query at matched QoS operating points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+from repro.cluster.server import PartitionModelConfig
+from repro.cluster.simulation import ClusterConfig, run_open_loop
+from repro.core.capacity import find_max_qps
+from repro.metrics.summary import LatencySummary
+from repro.servers.power import PowerModel
+from repro.servers.spec import ServerSpec
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.scenario import WorkloadScenario
+from repro.workload.servicetime import ServiceDemandModel
+
+
+@dataclass(frozen=True)
+class ServerComparisonPoint:
+    """One (server, partition count) latency measurement."""
+
+    server_name: str
+    num_partitions: int
+    summary: LatencySummary
+    utilization: float
+
+
+def compare_servers_vs_partitions(
+    specs: Sequence[ServerSpec],
+    demands: ServiceDemandModel,
+    partition_counts: Sequence[int],
+    rate_qps: float,
+    cost_model: PartitionModelConfig = PartitionModelConfig(),
+    num_queries: int = 5_000,
+    warmup_fraction: float = 0.1,
+    seed: int = 0,
+) -> List[ServerComparisonPoint]:
+    """F6: partition sweep for each server at the same offered load.
+
+    The workload (seed) is shared across every point, so differences
+    are purely architectural.
+    """
+    if not specs:
+        raise ValueError("need at least one server spec")
+    if not partition_counts:
+        raise ValueError("need at least one partition count")
+    points: List[ServerComparisonPoint] = []
+    for spec in specs:
+        for num_partitions in partition_counts:
+            config = ClusterConfig(
+                spec=spec,
+                partitioning=replace(
+                    cost_model, num_partitions=num_partitions
+                ),
+            )
+            scenario = WorkloadScenario(
+                arrivals=PoissonArrivals(rate_qps),
+                demands=demands,
+                num_queries=num_queries,
+            )
+            result = run_open_loop(config, scenario, seed=seed)
+            points.append(
+                ServerComparisonPoint(
+                    server_name=spec.name,
+                    num_partitions=num_partitions,
+                    summary=result.summary(warmup_fraction=warmup_fraction),
+                    utilization=result.utilization(),
+                )
+            )
+    return points
+
+
+@dataclass(frozen=True)
+class EnergyPoint:
+    """F7 row: one server's matched-QoS operating point and energy."""
+
+    server_name: str
+    num_partitions: int
+    qps: float
+    p99_seconds: float
+    utilization: float
+    power_watts: float
+    energy_per_query_joules: float
+    meets_qos: bool
+
+
+def matched_qos_energy(
+    specs: Sequence[ServerSpec],
+    demands: ServiceDemandModel,
+    qos_p99_seconds: float,
+    partition_counts: Sequence[int],
+    cost_model: PartitionModelConfig = PartitionModelConfig(),
+    num_queries: int = 4_000,
+    seed: int = 0,
+) -> List[EnergyPoint]:
+    """F7: for each server, its best QoS-compliant operating point.
+
+    For every spec, every partition count is capacity-searched under
+    the QoS target and the highest-throughput compliant point is kept;
+    power comes from the linear utilization model at that point.
+    """
+    if not specs:
+        raise ValueError("need at least one server spec")
+    rows: List[EnergyPoint] = []
+    for spec in specs:
+        best: Optional[EnergyPoint] = None
+        for num_partitions in partition_counts:
+            config = ClusterConfig(
+                spec=spec,
+                partitioning=replace(
+                    cost_model, num_partitions=num_partitions
+                ),
+            )
+            capacity = find_max_qps(
+                config,
+                demands,
+                qos_p99_seconds,
+                num_queries=num_queries,
+                seed=seed,
+            )
+            if capacity.max_qps <= 0:
+                continue
+            power_model = PowerModel(spec)
+            power = power_model.power_at(min(1.0, capacity.utilization_at_max))
+            candidate = EnergyPoint(
+                server_name=spec.name,
+                num_partitions=num_partitions,
+                qps=capacity.max_qps,
+                p99_seconds=capacity.p99_at_max,
+                utilization=capacity.utilization_at_max,
+                power_watts=power,
+                energy_per_query_joules=power / capacity.max_qps,
+                meets_qos=True,
+            )
+            if best is None or candidate.qps > best.qps:
+                best = candidate
+        if best is None:
+            best = EnergyPoint(
+                server_name=spec.name,
+                num_partitions=max(partition_counts),
+                qps=0.0,
+                p99_seconds=float("inf"),
+                utilization=0.0,
+                power_watts=PowerModel(spec).power_at(0.0),
+                energy_per_query_joules=float("inf"),
+                meets_qos=False,
+            )
+        rows.append(best)
+    return rows

@@ -1,0 +1,119 @@
+"""Cluster provisioning table (extension table T3).
+
+The datacenter-level consequence of the low-power result: to serve a
+target aggregate load under a tail-latency SLA, how many servers —
+and how many watts — does each server class need?  Per-node capacity
+comes from the QoS-bounded throughput search (each node at its best
+partition count); node counts are ``ceil(target / per-node capacity)``;
+power is the linear model at each node's operating utilization.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+from repro.cluster.server import PartitionModelConfig
+from repro.cluster.simulation import ClusterConfig
+from repro.core.capacity import find_max_qps
+from repro.servers.power import PowerModel
+from repro.servers.spec import ServerSpec
+from repro.workload.servicetime import ServiceDemandModel
+
+
+@dataclass(frozen=True)
+class ProvisioningRow:
+    """One server class's deployment for the target load."""
+
+    server_name: str
+    best_partitions: int
+    per_node_qps: float
+    nodes_needed: int
+    node_utilization: float
+    total_power_watts: float
+    watts_per_kqps: float
+    meets_qos: bool
+
+
+def provisioning_study(
+    specs: Sequence[ServerSpec],
+    demands: ServiceDemandModel,
+    target_qps: float,
+    qos_p99_seconds: float,
+    partition_counts: Sequence[int] = (1, 2, 4, 8, 16),
+    cost_model: PartitionModelConfig = PartitionModelConfig(),
+    num_queries: int = 4_000,
+    seed: int = 0,
+) -> List[ProvisioningRow]:
+    """T3: nodes and power per server class for ``target_qps``.
+
+    Each class is evaluated at its best partition count (highest
+    QoS-compliant per-node throughput); a class that cannot meet the
+    QoS at any partition count is reported with ``meets_qos=False``.
+    """
+    if target_qps <= 0:
+        raise ValueError("target_qps must be positive")
+    if not specs:
+        raise ValueError("need at least one server spec")
+    rows: List[ProvisioningRow] = []
+    for spec in specs:
+        best: Optional[tuple] = None
+        for num_partitions in partition_counts:
+            config = ClusterConfig(
+                spec=spec,
+                partitioning=replace(
+                    cost_model, num_partitions=num_partitions
+                ),
+            )
+            capacity = find_max_qps(
+                config,
+                demands,
+                qos_p99_seconds,
+                num_queries=num_queries,
+                seed=seed,
+            )
+            if capacity.max_qps <= 0:
+                continue
+            if best is None or capacity.max_qps > best[0]:
+                best = (
+                    capacity.max_qps,
+                    num_partitions,
+                    capacity.utilization_at_max,
+                )
+        if best is None:
+            rows.append(
+                ProvisioningRow(
+                    server_name=spec.name,
+                    best_partitions=0,
+                    per_node_qps=0.0,
+                    nodes_needed=0,
+                    node_utilization=0.0,
+                    total_power_watts=float("inf"),
+                    watts_per_kqps=float("inf"),
+                    meets_qos=False,
+                )
+            )
+            continue
+        per_node_qps, best_partitions, utilization_at_max = best
+        nodes = math.ceil(target_qps / per_node_qps)
+        # Spread the load evenly over the deployed nodes: actual
+        # per-node utilization scales down from the capacity point.
+        per_node_load = target_qps / nodes
+        node_utilization = utilization_at_max * per_node_load / per_node_qps
+        power_model = PowerModel(spec)
+        node_power = power_model.power_at(min(1.0, node_utilization))
+        total_power = node_power * nodes
+        rows.append(
+            ProvisioningRow(
+                server_name=spec.name,
+                best_partitions=best_partitions,
+                per_node_qps=per_node_qps,
+                nodes_needed=nodes,
+                node_utilization=node_utilization,
+                total_power_watts=total_power,
+                watts_per_kqps=total_power / (target_qps / 1_000.0),
+                meets_qos=True,
+            )
+        )
+    return rows

@@ -1,0 +1,167 @@
+"""One-call characterization report.
+
+``characterization_report`` runs the native characterization pipeline
+end to end — index statistics, workload profile, service-time
+distribution, drivers, calibration — and renders one Markdown document.
+It is the "give me the paper's Section 3 for *my* configuration" entry
+point, used by downstream adopters who bring their own corpus or query
+log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.calibration import calibrate_from_measurements
+from repro.core.characterization import (
+    characterize_service_times,
+    service_time_by_term_count,
+    service_time_by_volume,
+)
+from repro.core.reporting import format_table
+from repro.corpus.loganalysis import profile_query_log
+from repro.engine.service import SearchService
+from repro.index.stats import compute_statistics
+
+
+@dataclass(frozen=True)
+class ReportOptions:
+    """Sampling depth of the report's measurements."""
+
+    num_queries: int = 300
+    repeats: int = 2
+    profile_stream_length: int = 30_000
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_queries <= 0 or self.repeats <= 0:
+            raise ValueError("num_queries and repeats must be positive")
+        if self.profile_stream_length <= 0:
+            raise ValueError("profile_stream_length must be positive")
+
+
+def characterization_report(
+    service: SearchService,
+    options: ReportOptions = ReportOptions(),
+    path: Optional[Union[str, Path]] = None,
+) -> str:
+    """Characterize ``service`` and render a Markdown report.
+
+    When ``path`` is given the report is also written there.  The
+    service should be a single-partition instance (serial service times
+    are the characterization's raw material).
+    """
+    index = service.partitioned[0].index
+    stats = compute_statistics(index, include_compressed_size=True)
+    profile = profile_query_log(
+        service.query_log,
+        stream_length=options.profile_stream_length,
+        seed=options.seed,
+    )
+    characterization = characterize_service_times(
+        service.isn,
+        service.query_log,
+        num_queries=options.num_queries,
+        repeats=options.repeats,
+        seed=options.seed,
+    )
+    calibration = calibrate_from_measurements(characterization.measurements)
+    summary = characterization.summary.scaled(1000.0)
+
+    sections = []
+    sections.append("# Web search benchmark characterization report\n")
+    sections.append(
+        f"Configuration: {stats.num_documents} documents, "
+        f"{service.partitioned.num_partitions} partition(s), "
+        f"{profile.num_unique_queries} unique queries.\n"
+    )
+
+    sections.append("## Index statistics\n")
+    sections.append(
+        "```\n"
+        + format_table(
+            ["parameter", "value"],
+            [[k, v] for k, v in stats.as_rows().items()],
+        )
+        + "\n```\n"
+    )
+
+    sections.append("## Workload profile\n")
+    sections.append(
+        "```\n"
+        + format_table(
+            ["property", "value"],
+            [
+                ["mean terms per query",
+                 round(profile.mean_terms_per_query, 2)],
+                ["popularity Zipf exponent (measured)",
+                 round(profile.estimated_popularity_exponent, 3)],
+                ["top 1% traffic share",
+                 round(profile.top_1pct_traffic_share, 3)],
+                ["top 10% traffic share",
+                 round(profile.top_10pct_traffic_share, 3)],
+            ],
+        )
+        + "\n```\n"
+    )
+
+    sections.append("## Service-time distribution\n")
+    better = (
+        "log-normal"
+        if characterization.lognormal_fits_better
+        else "exponential"
+    )
+    sections.append(
+        "```\n"
+        + format_table(
+            ["statistic", "value (ms)"],
+            [
+                ["mean", summary.mean],
+                ["p50", summary.p50],
+                ["p90", summary.p90],
+                ["p99", summary.p99],
+                ["max", summary.max],
+            ],
+        )
+        + "\n```\n"
+        + f"\np99/p50 tail ratio: {characterization.tail_ratio:.2f}; "
+        f"better parametric fit: **{better}** "
+        f"(KS {characterization.lognormal.ks_distance:.3f} vs "
+        f"{characterization.exponential.ks_distance:.3f}).\n"
+    )
+
+    sections.append("## What drives service time\n")
+    term_rows = [
+        [row.term_count, row.num_queries, row.mean_seconds * 1000]
+        for row in service_time_by_term_count(characterization.measurements)
+    ]
+    volume_rows = [
+        [f"[{row.low_volume}, {row.high_volume}]",
+         row.mean_seconds * 1000]
+        for row in service_time_by_volume(
+            characterization.measurements, num_buckets=4
+        )
+    ]
+    sections.append(
+        "```\n"
+        + format_table(["terms", "queries", "mean_ms"], term_rows)
+        + "\n\n"
+        + format_table(["volume quartile", "mean_ms"], volume_rows)
+        + "\n```\n"
+    )
+
+    sections.append("## Simulator calibration\n")
+    sections.append(
+        f"Affine work model: `time ≈ "
+        f"{calibration.base_seconds * 1000:.3f} ms + "
+        f"{calibration.per_posting_seconds * 1e9:.1f} ns × postings` "
+        f"(R² = {calibration.r_squared:.3f}, "
+        f"{calibration.num_measurements} measurements).\n"
+    )
+
+    report = "\n".join(sections)
+    if path is not None:
+        Path(path).write_text(report, encoding="utf-8")
+    return report

@@ -1,0 +1,83 @@
+"""Plain-text table and series rendering.
+
+Every benchmark regenerates its table/figure as aligned text via these
+two functions, so bench output is directly comparable run to run and
+diff-able against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _render(cell: Cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        magnitude = abs(cell)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{cell:.3e}"
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Cell]], title: str = ""
+) -> str:
+    """Render an aligned text table.
+
+    Numbers are right-aligned with compact formatting; strings left-
+    aligned.  ``title`` adds a heading line when given.
+    """
+    rendered_rows: List[List[str]] = [[_render(cell) for cell in row] for row in rows]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in rendered_rows))
+        if rendered_rows
+        else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)).rstrip()
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(
+            "  ".join(cell.rjust(w) for cell, w in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    x_values: Sequence[Cell],
+    series: Sequence[tuple],
+) -> str:
+    """Render a figure as a table of (x, series...) points.
+
+    ``series`` is a sequence of ``(label, values)`` pairs, each the same
+    length as ``x_values``.
+    """
+    for label, values in series:
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {label!r} has {len(values)} points, "
+                f"expected {len(x_values)}"
+            )
+    headers = [x_label] + [label for label, _ in series]
+    rows = [
+        [x] + [values[i] for _, values in series]
+        for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,97 @@
+"""Partition-strategy ablation (extension figure F14).
+
+The benchmark assigns documents to intra-server partitions in crawl
+order; whether that behaves like round-robin or like contiguous ranges
+matters because crawls have topical locality.  This study partitions a
+corpus (optionally with crawl-order topic drift) under each strategy
+and measures, per query, how evenly the query's matched postings
+spread across shards.  Skewed shards mean one partition task carries
+most of the work — exactly the fork-join straggler that erases the
+tail-latency benefit of partitioning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.corpus.documents import DocumentCollection
+from repro.corpus.querylog import QueryLog
+from repro.index.partitioner import PartitionStrategy, partition_index
+from repro.search.query import QueryParser
+from repro.text.analyzer import Analyzer
+
+
+@dataclass(frozen=True)
+class StrategyBalance:
+    """Shard work balance of one partitioning strategy.
+
+    ``imbalance`` is the mean over queries of
+    ``max_shard_volume / mean_shard_volume`` — 1.0 is a perfect split,
+    ``P`` the worst case (all work on one shard).
+    """
+
+    strategy: PartitionStrategy
+    num_partitions: int
+    imbalance: float
+    worst_query_imbalance: float
+    mean_shard_documents: float
+    shard_document_spread: int
+
+
+def partition_balance_study(
+    collection: DocumentCollection,
+    query_log: QueryLog,
+    num_partitions: int,
+    strategies: Sequence[PartitionStrategy] = tuple(PartitionStrategy),
+    num_queries: int = 200,
+    analyzer: Analyzer | None = None,
+    seed: int = 0,
+) -> List[StrategyBalance]:
+    """F14: per-strategy shard work balance on ``collection``."""
+    if num_partitions <= 1:
+        raise ValueError("balance needs at least two partitions")
+    if not strategies:
+        raise ValueError("need at least one strategy")
+    if num_queries <= 0:
+        raise ValueError("num_queries must be positive")
+
+    rng = np.random.default_rng(seed)
+    stream = query_log.sample_stream(num_queries, rng)
+
+    rows: List[StrategyBalance] = []
+    for strategy in strategies:
+        partitioned = partition_index(
+            collection, num_partitions, analyzer=analyzer, strategy=strategy
+        )
+        parser = QueryParser(partitioned[0].index.analyzer)
+        ratios: List[float] = []
+        for query in stream:
+            terms = list(parser.parse(query.text).terms)
+            volumes = np.array(
+                [
+                    shard.index.matched_postings_volume(terms)
+                    for shard in partitioned
+                ],
+                dtype=np.float64,
+            )
+            mean_volume = volumes.mean()
+            if mean_volume == 0:
+                continue  # query matches nothing anywhere
+            ratios.append(float(volumes.max() / mean_volume))
+        if not ratios:
+            raise ValueError("no query matched any shard")
+        shard_sizes = [shard.num_documents for shard in partitioned]
+        rows.append(
+            StrategyBalance(
+                strategy=strategy,
+                num_partitions=num_partitions,
+                imbalance=float(np.mean(ratios)),
+                worst_query_imbalance=float(np.max(ratios)),
+                mean_shard_documents=float(np.mean(shard_sizes)),
+                shard_document_spread=int(max(shard_sizes) - min(shard_sizes)),
+            )
+        )
+    return rows

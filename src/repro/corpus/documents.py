@@ -1,0 +1,75 @@
+"""Document model for the synthetic web corpus."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class Document:
+    """A single synthetic web page.
+
+    Attributes
+    ----------
+    doc_id:
+        Dense integer id, unique within a collection.
+    url:
+        Synthetic URL, unique within a collection.
+    title:
+        Short title text (raw, un-analyzed).
+    body:
+        Main page text (raw, un-analyzed).
+    """
+
+    doc_id: int
+    url: str
+    title: str
+    body: str
+
+    @property
+    def text(self) -> str:
+        """Full indexable text (title + body)."""
+        return f"{self.title}\n{self.body}"
+
+
+@dataclass
+class DocumentCollection:
+    """An ordered collection of documents with dense ids.
+
+    The index builder consumes a collection; the partitioner splits one
+    into shards.  Ids must be dense ``0..len-1`` in order, which
+    :meth:`add` enforces — dense ids are what lets postings use array
+    offsets instead of hash lookups.
+    """
+
+    documents: List[Document] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self.documents)
+
+    def __getitem__(self, doc_id: int) -> Document:
+        return self.documents[doc_id]
+
+    def add(self, document: Document) -> None:
+        """Append ``document``; its id must equal the current length."""
+        expected = len(self.documents)
+        if document.doc_id != expected:
+            raise ValueError(
+                f"document ids must be dense: expected {expected}, "
+                f"got {document.doc_id}"
+            )
+        self.documents.append(document)
+
+    def get(self, doc_id: int) -> Optional[Document]:
+        """Return the document with ``doc_id`` or None if out of range."""
+        if 0 <= doc_id < len(self.documents):
+            return self.documents[doc_id]
+        return None
+
+    def slice(self, doc_ids: List[int]) -> List[Document]:
+        """Return the documents for the given ids (order preserved)."""
+        return [self.documents[doc_id] for doc_id in doc_ids]

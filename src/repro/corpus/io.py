@@ -1,0 +1,118 @@
+"""Persistence for corpora and query logs.
+
+Lets an experiment pin its exact inputs: document collections are
+stored as JSON-lines (one page per line), query logs as a JSON header
+(popularity model) plus JSON-lines of unique queries.  Round-tripping
+is exact, so saved artifacts reproduce byte-identical indexes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.corpus.documents import Document, DocumentCollection
+from repro.corpus.querylog import Query, QueryLog
+
+PathLike = Union[str, Path]
+
+
+def save_collection(collection: DocumentCollection, path: PathLike) -> int:
+    """Write ``collection`` as JSON-lines; returns documents written."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for document in collection:
+            handle.write(
+                json.dumps(
+                    {
+                        "doc_id": document.doc_id,
+                        "url": document.url,
+                        "title": document.title,
+                        "body": document.body,
+                    },
+                    ensure_ascii=False,
+                )
+                + "\n"
+            )
+    return len(collection)
+
+
+def load_collection(path: PathLike) -> DocumentCollection:
+    """Read a collection previously written by :func:`save_collection`."""
+    collection = DocumentCollection()
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            try:
+                collection.add(
+                    Document(
+                        doc_id=record["doc_id"],
+                        url=record["url"],
+                        title=record["title"],
+                        body=record["body"],
+                    )
+                )
+            except KeyError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: missing field {error}"
+                ) from None
+    return collection
+
+
+def save_query_log(query_log: QueryLog, path: PathLike) -> int:
+    """Write ``query_log`` (header line + one query per line)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(
+            json.dumps(
+                {
+                    "format": "repro-querylog",
+                    "version": 1,
+                    "popularity_exponent": query_log.popularity_exponent,
+                    "num_queries": len(query_log),
+                }
+            )
+            + "\n"
+        )
+        for query in query_log:
+            handle.write(
+                json.dumps(
+                    {"query_id": query.query_id, "text": query.text},
+                    ensure_ascii=False,
+                )
+                + "\n"
+            )
+    return len(query_log)
+
+
+def load_query_log(path: PathLike) -> QueryLog:
+    """Read a query log previously written by :func:`save_query_log`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        header_line = handle.readline()
+        header = json.loads(header_line)
+        if header.get("format") != "repro-querylog":
+            raise ValueError(f"{path}: not a repro query log")
+        if header.get("version") != 1:
+            raise ValueError(
+                f"{path}: unsupported query log version {header.get('version')}"
+            )
+        queries = []
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            queries.append(
+                Query(query_id=record["query_id"], text=record["text"])
+            )
+    if len(queries) != header["num_queries"]:
+        raise ValueError(
+            f"{path}: header promises {header['num_queries']} queries, "
+            f"found {len(queries)}"
+        )
+    return QueryLog(
+        queries=queries,
+        popularity_exponent=header["popularity_exponent"],
+    )

@@ -1,0 +1,116 @@
+"""Synthetic vocabulary with Zipfian term frequencies.
+
+Terms are deterministic pseudo-words derived from their rank, so the
+same :class:`VocabularyConfig` always yields the same vocabulary and
+corpora built on it are reproducible.  Word shapes alternate consonants
+and vowels so they read like text, survive the analyzer chain, and do
+not collide with the stopword list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.corpus.zipf import ZipfSampler, zipf_weights
+
+_CONSONANTS = "bcdfghjklmnpqrstvwz"
+_VOWELS = "aeiou"
+
+
+@dataclass(frozen=True)
+class VocabularyConfig:
+    """Shape of the synthetic vocabulary.
+
+    Attributes
+    ----------
+    size:
+        Number of distinct terms.
+    exponent:
+        Zipf exponent of the term-frequency distribution.  Measured web
+        corpora sit close to 1.0; the benchmark's crawl is no exception.
+    seed:
+        Seed for the word-shape RNG (not the sampling RNG).
+    """
+
+    size: int = 50_000
+    exponent: float = 1.0
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"vocabulary size must be positive, got {self.size}")
+        if self.exponent < 0:
+            raise ValueError(f"exponent must be non-negative, got {self.exponent}")
+
+
+class Vocabulary:
+    """A rank-ordered list of synthetic terms with Zipf weights.
+
+    Rank 0 is the most frequent term.  ``words`` is materialized eagerly
+    (a 50k-word vocabulary is ~1 MB) because both the document generator
+    and the query generator index into it on every draw.
+    """
+
+    def __init__(self, config: VocabularyConfig | None = None):
+        self.config = config or VocabularyConfig()
+        self._words = _generate_words(self.config.size, self.config.seed)
+        self._weights = zipf_weights(self.config.size, self.config.exponent)
+
+    def __len__(self) -> int:
+        return self.config.size
+
+    @property
+    def words(self) -> List[str]:
+        """All words, most frequent first."""
+        return self._words
+
+    def word(self, rank: int) -> str:
+        """Return the word at 0-based ``rank`` (0 = most frequent)."""
+        return self._words[rank]
+
+    def frequency(self, rank: int) -> float:
+        """Return the corpus-model probability of the word at ``rank``."""
+        return float(self._weights[rank])
+
+    def sampler(self, rng: np.random.Generator) -> ZipfSampler:
+        """Create a Zipf sampler over this vocabulary's ranks."""
+        return ZipfSampler(self.config.size, self.config.exponent, rng)
+
+
+def _generate_words(count: int, seed: int) -> List[str]:
+    """Generate ``count`` distinct pseudo-words, deterministically.
+
+    Words alternate consonant/vowel starting from a consonant; length
+    grows slowly with rank so frequent words are short (as in natural
+    language) and all words are unique.
+    """
+    from repro.text.stopwords import DEFAULT_STOPWORDS
+
+    rng = np.random.default_rng(seed)
+    words: List[str] = []
+    # Seeding ``seen`` with the stopword list guarantees vocabulary terms
+    # survive the analyzer's stopword filter.
+    seen = set(DEFAULT_STOPWORDS)
+    rank = 0
+    while len(words) < count:
+        # Frequent words are shorter: length 3..10 growing with log(rank).
+        length = 3 + int(np.log1p(rank) / np.log(4))
+        length = min(length, 12)
+        word = _make_word(rng, length)
+        rank += 1
+        if word in seen:
+            continue
+        seen.add(word)
+        words.append(word)
+    return words
+
+
+def _make_word(rng: np.random.Generator, length: int) -> str:
+    chars = []
+    for position in range(length):
+        alphabet = _CONSONANTS if position % 2 == 0 else _VOWELS
+        chars.append(alphabet[int(rng.integers(len(alphabet)))])
+    return "".join(chars)

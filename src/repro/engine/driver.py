@@ -1,0 +1,164 @@
+"""Client drivers for the native engine.
+
+Two measurement modes, matching how the paper's numbers were gathered:
+
+- :func:`replay_serial` — replay a query stream one query at a time on
+  a serial ISN pass.  No queueing, no thread contention: the measured
+  time *is* the query's service demand, which is what characterization
+  (service-time distributions) and simulator calibration need.
+- :class:`ClosedLoopDriver` — a Faban-style client population on real
+  threads with exponential think times, measuring end-to-end response
+  times under self-limited concurrency.  (CPython's GIL serializes the
+  compute, so absolute throughput is interpreter-bound; trends across
+  client counts remain meaningful and the discrete-event simulator is
+  the primary tool for load studies.)
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.corpus.querylog import Query, QueryLog
+from repro.engine.isn import IndexServingNode
+from repro.workload.arrivals import ClosedLoopSpec
+
+
+@dataclass(frozen=True)
+class QueryMeasurement:
+    """One replayed query and its measured cost."""
+
+    query_id: int
+    text: str
+    num_raw_terms: int
+    service_seconds: float
+    matched_volume: int
+    num_hits: int
+
+
+def replay_serial(
+    isn: IndexServingNode,
+    queries: Sequence[Query],
+    k: int = 10,
+    repeats: int = 1,
+    warmup: int = 5,
+) -> List[QueryMeasurement]:
+    """Measure each query's serial service time on ``isn``.
+
+    Each query is executed ``repeats`` times and the *median* wall time
+    is kept (medians resist scheduler noise).  ``warmup`` initial
+    executions of the first query warm caches before any measurement.
+    """
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+    if not queries:
+        return []
+    for _ in range(max(0, warmup)):
+        isn.execute_serial(queries[0].text, k=k)
+
+    measurements: List[QueryMeasurement] = []
+    for query in queries:
+        times = []
+        response = None
+        for _ in range(repeats):
+            response = isn.execute_serial(query.text, k=k)
+            times.append(response.timings.total_seconds)
+        measurements.append(
+            QueryMeasurement(
+                query_id=query.query_id,
+                text=query.text,
+                num_raw_terms=len(query.raw_terms),
+                service_seconds=float(np.median(times)),
+                matched_volume=response.matched_volume,
+                num_hits=len(response.hits),
+            )
+        )
+    return measurements
+
+
+@dataclass
+class ClosedLoopResult:
+    """Outcome of one closed-loop native run."""
+
+    latencies: np.ndarray
+    wall_seconds: float
+
+    @property
+    def throughput_qps(self) -> float:
+        """Completed queries per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return float("inf")
+        return len(self.latencies) / self.wall_seconds
+
+
+class ClosedLoopDriver:
+    """Faban-style threaded client population against a native ISN."""
+
+    def __init__(
+        self,
+        isn: IndexServingNode,
+        query_log: QueryLog,
+        spec: ClosedLoopSpec,
+        k: int = 10,
+        seed: int = 0,
+    ):
+        self.isn = isn
+        self.query_log = query_log
+        self.spec = spec
+        self.k = k
+        self.seed = seed
+
+    def run(self, num_queries: int) -> ClosedLoopResult:
+        """Run until ``num_queries`` total queries have completed."""
+        if num_queries <= 0:
+            raise ValueError("num_queries must be positive")
+        lock = threading.Lock()
+        latencies: List[float] = []
+        remaining = num_queries
+        # Pre-sample each client's private query stream and think times
+        # so client threads never contend on a shared RNG.
+        per_client = -(-num_queries // self.spec.num_clients)  # ceil
+        client_plans = []
+        for client_id in range(self.spec.num_clients):
+            rng = np.random.default_rng(self.seed + client_id)
+            queries = self.query_log.sample_stream(per_client, rng)
+            thinks = (
+                rng.exponential(self.spec.mean_think_time, size=per_client)
+                if self.spec.mean_think_time > 0
+                else np.zeros(per_client)
+            )
+            client_plans.append((queries, thinks))
+
+        def client_body(plan) -> None:
+            nonlocal remaining
+            queries, thinks = plan
+            for query, think in zip(queries, thinks):
+                with lock:
+                    if remaining <= 0:
+                        return
+                    remaining -= 1
+                time.sleep(float(think))
+                start = time.perf_counter()
+                self.isn.execute(query.text, k=self.k)
+                elapsed = time.perf_counter() - start
+                with lock:
+                    latencies.append(elapsed)
+
+        wall_start = time.perf_counter()
+        threads = [
+            threading.Thread(target=client_body, args=(plan,), daemon=True)
+            for plan in client_plans
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall_seconds = time.perf_counter() - wall_start
+        return ClosedLoopResult(
+            latencies=np.asarray(latencies, dtype=np.float64),
+            wall_seconds=wall_seconds,
+        )

@@ -1,0 +1,123 @@
+"""The frontend/broker tier.
+
+In the benchmark's architecture a frontend receives client queries,
+broadcasts them to every index serving node (each holding a slice of
+the full collection), and merges the per-node top-k lists into the
+response page.  With a single ISN — the configuration the paper's
+intra-server study uses — the frontend is a thin pass-through, but the
+class supports multi-ISN deployments for the cluster examples.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.engine.isn import IndexServingNode, IsnResponse
+from repro.search.merger import merge_shard_results
+from repro.search.query import DEFAULT_TOP_K, QueryMode
+from repro.search.topk import SearchHit
+
+
+@dataclass(frozen=True)
+class FrontendResponse:
+    """The merged, client-facing answer to one query."""
+
+    hits: Tuple[SearchHit, ...]
+    isn_responses: Tuple[IsnResponse, ...]
+    total_seconds: float
+
+    def doc_ids(self) -> List[int]:
+        """Global doc ids of the final page, best first."""
+        return [hit.doc_id for hit in self.hits]
+
+    @property
+    def slowest_isn_seconds(self) -> float:
+        """The straggler ISN's total time."""
+        return max(
+            (response.timings.total_seconds for response in self.isn_responses),
+            default=0.0,
+        )
+
+
+class Frontend:
+    """Broadcasts queries to index serving nodes and merges answers.
+
+    Parameters
+    ----------
+    isns:
+        The index serving nodes, each serving a disjoint slice of the
+        collection.
+    global_id_maps:
+        Optional per-ISN translation tables: ``global_id_maps[i][local]``
+        is the cluster-global doc id of ISN ``i``'s document ``local``.
+        Required for more than one ISN — each node numbers its documents
+        from zero, so merging without translation would collide ids.
+    """
+
+    def __init__(
+        self,
+        isns: Sequence[IndexServingNode],
+        global_id_maps: Optional[Sequence[Sequence[int]]] = None,
+    ):
+        if not isns:
+            raise ValueError("frontend needs at least one index serving node")
+        if global_id_maps is None and len(isns) > 1:
+            raise ValueError(
+                "multi-ISN frontends need global_id_maps: each ISN numbers "
+                "documents from zero, so merged ids would collide"
+            )
+        if global_id_maps is not None and len(global_id_maps) != len(isns):
+            raise ValueError(
+                f"got {len(global_id_maps)} id maps for {len(isns)} ISNs"
+            )
+        self._isns = list(isns)
+        self._id_maps = (
+            [list(id_map) for id_map in global_id_maps]
+            if global_id_maps is not None
+            else None
+        )
+
+    @property
+    def num_isns(self) -> int:
+        """Number of index serving nodes behind this frontend."""
+        return len(self._isns)
+
+    def execute(
+        self,
+        text: str,
+        k: int = DEFAULT_TOP_K,
+        mode: QueryMode = QueryMode.OR,
+    ) -> FrontendResponse:
+        """Answer ``text``: broadcast, gather, merge."""
+        start = time.perf_counter()
+        responses = [isn.execute(text, k=k, mode=mode) for isn in self._isns]
+        hits = merge_shard_results(
+            [
+                self._to_global(isn_index, response.hits)
+                for isn_index, response in enumerate(responses)
+            ],
+            k=k,
+        )
+        return FrontendResponse(
+            hits=tuple(hits),
+            isn_responses=tuple(responses),
+            total_seconds=time.perf_counter() - start,
+        )
+
+    def _to_global(
+        self, isn_index: int, hits: Sequence[SearchHit]
+    ) -> List[SearchHit]:
+        if self._id_maps is None:
+            return list(hits)
+        id_map = self._id_maps[isn_index]
+        return [
+            SearchHit(score=hit.score, doc_id=id_map[hit.doc_id])
+            for hit in hits
+        ]
+
+    def close(self) -> None:
+        """Shut down all ISNs."""
+        for isn in self._isns:
+            isn.close()

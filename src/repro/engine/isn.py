@@ -1,0 +1,211 @@
+"""The index serving node (ISN).
+
+The ISN owns a partitioned index and answers queries by fanning out to
+all partitions — in parallel on a thread pool (the benchmark's
+behaviour) or serially (for noise-free service-time characterization) —
+and merging the shard top-k lists.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.engine.instrumentation import ComponentTimings
+from repro.index.partitioner import PartitionedIndex
+from repro.search.executor import ShardSearcher
+from repro.search.global_stats import global_scorer_factory
+from repro.search.merger import merge_shard_results
+from repro.search.query import DEFAULT_TOP_K, ParsedQuery, QueryMode, QueryParser
+from repro.search.topk import SearchHit
+
+
+@dataclass(frozen=True)
+class IsnResponse:
+    """One query's answer from an ISN."""
+
+    hits: Tuple[SearchHit, ...]
+    timings: ComponentTimings
+    matched_volume: int
+
+    def doc_ids(self) -> List[int]:
+        """Global doc ids of the hits, best first."""
+        return [hit.doc_id for hit in self.hits]
+
+
+class IndexServingNode:
+    """Searches one server's partitioned index with intra-query parallelism.
+
+    Parameters
+    ----------
+    partitioned:
+        The server's index shards.
+    num_threads:
+        Worker threads for the partition fan-out; defaults to the
+        partition count (the benchmark's thread-per-partition setting).
+    algorithm:
+        Traversal algorithm for shard searchers.
+    use_global_stats:
+        Score shards with collection-global statistics (distributed
+        idf).  On by default so results are partition-count invariant.
+    cache:
+        Optional result-page cache consulted by :meth:`execute` before
+        the partition fan-out.  :meth:`execute_serial` bypasses it —
+        characterization and calibration need raw service times.
+    """
+
+    def __init__(
+        self,
+        partitioned: PartitionedIndex,
+        num_threads: Optional[int] = None,
+        algorithm: str = "daat",
+        use_global_stats: bool = True,
+        cache: Optional["QueryResultCache"] = None,
+    ):
+        self.partitioned = partitioned
+        self.cache = cache
+        scorer_factory = (
+            global_scorer_factory(partitioned) if use_global_stats else None
+        )
+        self._searchers = [
+            ShardSearcher(shard, algorithm=algorithm, scorer_factory=scorer_factory)
+            for shard in partitioned
+        ]
+        analyzer = partitioned[0].index.analyzer
+        self._parser = QueryParser(analyzer)
+        if num_threads is not None and num_threads <= 0:
+            raise ValueError("num_threads must be positive")
+        workers = num_threads if num_threads is not None else (
+            partitioned.num_partitions
+        )
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="isn-shard"
+        )
+        self._closed = False
+
+    @property
+    def num_partitions(self) -> int:
+        """Partition count of the served index."""
+        return self.partitioned.num_partitions
+
+    def execute(
+        self,
+        text: str,
+        k: int = DEFAULT_TOP_K,
+        mode: QueryMode = QueryMode.OR,
+    ) -> IsnResponse:
+        """Answer ``text`` with parallel partition fan-out."""
+        self._ensure_open()
+        total_start = time.perf_counter()
+
+        parse_start = time.perf_counter()
+        query = self._parser.parse(text, mode=mode, k=k)
+        parse_seconds = time.perf_counter() - parse_start
+
+        if self.cache is not None:
+            cached = self.cache.lookup(query)
+            if cached is not None:
+                return IsnResponse(
+                    hits=cached,
+                    timings=ComponentTimings(
+                        parse_seconds=parse_seconds,
+                        total_seconds=time.perf_counter() - total_start,
+                    ),
+                    matched_volume=0,
+                )
+
+        fanout_start = time.perf_counter()
+        futures = [
+            self._pool.submit(self._search_shard, searcher, query)
+            for searcher in self._searchers
+        ]
+        shard_outputs = [future.result() for future in futures]
+        fanout_seconds = time.perf_counter() - fanout_start
+
+        response = self._assemble(
+            query, shard_outputs, parse_seconds, fanout_seconds, total_start
+        )
+        if self.cache is not None:
+            self.cache.store(query, response.hits)
+        return response
+
+    def execute_serial(
+        self,
+        text: str,
+        k: int = DEFAULT_TOP_K,
+        mode: QueryMode = QueryMode.OR,
+    ) -> IsnResponse:
+        """Answer ``text`` searching partitions one after another.
+
+        Serial execution removes thread-pool scheduling noise, which is
+        what the service-time characterization and simulator calibration
+        need: the sum of shard times *is* the query's CPU demand.
+        """
+        self._ensure_open()
+        total_start = time.perf_counter()
+
+        parse_start = time.perf_counter()
+        query = self._parser.parse(text, mode=mode, k=k)
+        parse_seconds = time.perf_counter() - parse_start
+
+        fanout_start = time.perf_counter()
+        shard_outputs = [
+            self._search_shard(searcher, query) for searcher in self._searchers
+        ]
+        fanout_seconds = time.perf_counter() - fanout_start
+
+        return self._assemble(
+            query, shard_outputs, parse_seconds, fanout_seconds, total_start
+        )
+
+    def close(self) -> None:
+        """Shut down the fan-out thread pool."""
+        if not self._closed:
+            self._pool.shutdown(wait=True)
+            self._closed = True
+
+    def __enter__(self) -> "IndexServingNode":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("IndexServingNode is closed")
+
+    @staticmethod
+    def _search_shard(searcher: ShardSearcher, query: ParsedQuery):
+        start = time.perf_counter()
+        result = searcher.search(query)
+        return result, time.perf_counter() - start
+
+    def _assemble(
+        self,
+        query: ParsedQuery,
+        shard_outputs,
+        parse_seconds: float,
+        fanout_seconds: float,
+        total_start: float,
+    ) -> IsnResponse:
+        merge_start = time.perf_counter()
+        hits = merge_shard_results(
+            [result.hits for result, _ in shard_outputs], k=query.k
+        )
+        merge_seconds = time.perf_counter() - merge_start
+
+        timings = ComponentTimings(
+            parse_seconds=parse_seconds,
+            shard_seconds=[seconds for _, seconds in shard_outputs],
+            fanout_seconds=fanout_seconds,
+            merge_seconds=merge_seconds,
+            total_seconds=time.perf_counter() - total_start,
+        )
+        matched_volume = sum(
+            result.matched_volume for result, _ in shard_outputs
+        )
+        return IsnResponse(
+            hits=tuple(hits), timings=timings, matched_volume=matched_volume
+        )

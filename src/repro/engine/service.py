@@ -1,0 +1,163 @@
+"""High-level facade: build a complete runnable search service.
+
+``SearchService`` assembles the whole benchmark — synthetic corpus,
+partitioned index, index serving node, and query log — from one config.
+It is the entry point the examples and most benchmarks use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.corpus.generator import CorpusConfig, CorpusGenerator
+from repro.corpus.querylog import QueryLog, QueryLogConfig, QueryLogGenerator
+from repro.engine.isn import IndexServingNode, IsnResponse
+from repro.engine.snippets import Snippet, SnippetGenerator
+from repro.index.partitioner import (
+    PartitionedIndex,
+    PartitionStrategy,
+    partition_index,
+)
+from repro.index.positional import PositionalIndex, PositionalIndexBuilder
+from repro.search.phrase import parse_phrase, score_phrase
+from repro.search.query import DEFAULT_TOP_K, QueryMode
+from repro.search.topk import SearchHit
+from repro.text.analyzer import Analyzer, default_analyzer
+
+
+@dataclass(frozen=True)
+class ResultPageEntry:
+    """One rendered result: the hit plus its presentation fields."""
+
+    hit: SearchHit
+    url: str
+    title: str
+    snippet: Snippet
+
+
+@dataclass(frozen=True)
+class SearchServiceConfig:
+    """Configuration of a complete search service instance."""
+
+    corpus: CorpusConfig = field(default_factory=CorpusConfig)
+    query_log: QueryLogConfig = field(default_factory=QueryLogConfig)
+    num_partitions: int = 1
+    partition_strategy: PartitionStrategy = PartitionStrategy.ROUND_ROBIN
+    algorithm: str = "daat"
+    use_global_stats: bool = True
+    num_threads: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+
+
+class SearchService:
+    """A fully assembled, queryable web-search benchmark instance."""
+
+    def __init__(
+        self,
+        config: SearchServiceConfig,
+        analyzer: Optional[Analyzer] = None,
+    ):
+        self.config = config
+        self.analyzer = analyzer or default_analyzer()
+
+        generator = CorpusGenerator(config.corpus)
+        self.collection = generator.generate()
+        self.partitioned: PartitionedIndex = partition_index(
+            self.collection,
+            config.num_partitions,
+            analyzer=self.analyzer,
+            strategy=config.partition_strategy,
+        )
+        self.isn = IndexServingNode(
+            self.partitioned,
+            num_threads=config.num_threads,
+            algorithm=config.algorithm,
+            use_global_stats=config.use_global_stats,
+        )
+        self.query_log: QueryLog = QueryLogGenerator(
+            generator.vocabulary, config.query_log
+        ).generate()
+        self._positional: Optional[PositionalIndex] = None
+        self._snippets = SnippetGenerator(self.analyzer)
+
+    @classmethod
+    def build(cls, **overrides) -> "SearchService":
+        """Build a service from keyword overrides of the default config.
+
+        ``SearchService.build(num_partitions=4)`` is the quickstart path.
+        """
+        return cls(SearchServiceConfig(**overrides))
+
+    def search(
+        self,
+        text: str,
+        k: int = DEFAULT_TOP_K,
+        mode: QueryMode = QueryMode.OR,
+    ) -> IsnResponse:
+        """Answer a query with the benchmark's parallel fan-out path."""
+        return self.isn.execute(text, k=k, mode=mode)
+
+    def document(self, doc_id: int):
+        """Fetch the document behind a result's global doc id."""
+        return self.collection[doc_id]
+
+    def search_page(
+        self,
+        text: str,
+        k: int = DEFAULT_TOP_K,
+        mode: QueryMode = QueryMode.OR,
+    ) -> List[ResultPageEntry]:
+        """Answer a query and render the full result page.
+
+        Each entry carries the document's URL, title, and a
+        query-highlighted snippet — the complete response the
+        benchmark's frontend returns to clients.
+        """
+        response = self.isn.execute(text, k=k, mode=mode)
+        terms = list(self.analyzer.analyze(text))
+        page: List[ResultPageEntry] = []
+        for hit in response.hits:
+            document = self.collection[hit.doc_id]
+            page.append(
+                ResultPageEntry(
+                    hit=hit,
+                    url=document.url,
+                    title=document.title,
+                    snippet=self._snippets.snippet(document, terms),
+                )
+            )
+        return page
+
+    def search_phrase(
+        self, text: str, k: int = DEFAULT_TOP_K
+    ) -> List[SearchHit]:
+        """Answer ``text`` as an exact phrase (positional match).
+
+        The positional index is built lazily on first use (it is larger
+        and slower to construct than the frequency index).
+        """
+        return score_phrase(
+            self.positional_index(), parse_phrase(self.analyzer, text), k=k
+        )
+
+    def positional_index(self) -> PositionalIndex:
+        """The lazily-built positional index over the full collection."""
+        if self._positional is None:
+            self._positional = PositionalIndexBuilder(self.analyzer).build(
+                self.collection
+            )
+        return self._positional
+
+    def close(self) -> None:
+        """Release the ISN's thread pool."""
+        self.isn.close()
+
+    def __enter__(self) -> "SearchService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

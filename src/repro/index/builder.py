@@ -1,0 +1,60 @@
+"""Index construction from a document collection."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.corpus.documents import DocumentCollection
+from repro.index.dictionary import TermDictionary
+from repro.index.inverted import InvertedIndex
+from repro.index.postings import PostingsList
+from repro.text.analyzer import Analyzer, default_analyzer
+
+
+class IndexBuilder:
+    """Builds an :class:`InvertedIndex` from a document collection.
+
+    The builder runs every document through the analyzer chain, then
+    assembles per-term postings.  Terms are assigned ids in first-seen
+    order (deterministic for a given collection + analyzer).
+    """
+
+    def __init__(self, analyzer: Optional[Analyzer] = None):
+        self.analyzer = analyzer or default_analyzer()
+
+    def build(self, collection: DocumentCollection) -> InvertedIndex:
+        """Analyze and index every document in ``collection``."""
+        # term -> list of (doc_id, frequency); doc ids arrive in order
+        # because the collection enforces dense ascending ids.
+        accumulator: Dict[str, List[Tuple[int, int]]] = {}
+        doc_lengths = np.zeros(len(collection), dtype=np.int64)
+
+        for document in collection:
+            terms = self.analyzer.analyze(document.text)
+            doc_lengths[document.doc_id] = len(terms)
+            for term, frequency in sorted(Counter(terms).items()):
+                accumulator.setdefault(term, []).append(
+                    (document.doc_id, frequency)
+                )
+
+        dictionary = TermDictionary()
+        postings: List[PostingsList] = []
+        for term in sorted(accumulator):
+            pairs = accumulator[term]
+            postings_list = PostingsList.from_pairs(pairs)
+            dictionary.add(
+                term,
+                document_frequency=postings_list.document_frequency(),
+                collection_frequency=postings_list.collection_frequency(),
+            )
+            postings.append(postings_list)
+
+        return InvertedIndex(
+            dictionary=dictionary,
+            postings=postings,
+            doc_lengths=doc_lengths,
+            analyzer=self.analyzer,
+        )

@@ -1,0 +1,75 @@
+"""Term dictionary: maps index terms to ids and collection statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TermInfo:
+    """Dictionary entry for one term.
+
+    Attributes
+    ----------
+    term_id:
+        Dense id, also the term's offset in the index's postings table.
+    document_frequency:
+        Number of documents containing the term.
+    collection_frequency:
+        Total occurrences of the term in the collection.
+    """
+
+    term_id: int
+    document_frequency: int
+    collection_frequency: int
+
+
+class TermDictionary:
+    """Bidirectional term ↔ id mapping with per-term statistics."""
+
+    def __init__(self) -> None:
+        self._info: Dict[str, TermInfo] = {}
+        self._terms: List[str] = []
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._info
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._terms)
+
+    def add(
+        self, term: str, document_frequency: int, collection_frequency: int
+    ) -> TermInfo:
+        """Register ``term`` with its statistics; terms must be unique."""
+        if term in self._info:
+            raise ValueError(f"term {term!r} already in dictionary")
+        if document_frequency <= 0:
+            raise ValueError("document_frequency must be positive")
+        if collection_frequency < document_frequency:
+            raise ValueError(
+                "collection_frequency cannot be below document_frequency"
+            )
+        info = TermInfo(
+            term_id=len(self._terms),
+            document_frequency=document_frequency,
+            collection_frequency=collection_frequency,
+        )
+        self._info[term] = info
+        self._terms.append(term)
+        return info
+
+    def lookup(self, term: str) -> Optional[TermInfo]:
+        """Return the entry for ``term`` or None if unknown."""
+        return self._info.get(term)
+
+    def term_for_id(self, term_id: int) -> str:
+        """Return the term string for a dense ``term_id``."""
+        return self._terms[term_id]
+
+    def terms(self) -> List[str]:
+        """All terms in insertion (= term id) order."""
+        return list(self._terms)

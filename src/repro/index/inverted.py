@@ -1,0 +1,97 @@
+"""The queryable inverted index."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.index.dictionary import TermDictionary, TermInfo
+from repro.index.postings import PostingsList
+from repro.text.analyzer import Analyzer
+
+
+class InvertedIndex:
+    """An immutable inverted index over a document collection.
+
+    The index holds the term dictionary, one postings list per term
+    (indexed by term id), per-document lengths (in analyzed terms, for
+    BM25 length normalization), and the analyzer it was built with so
+    queries are normalized identically to documents.
+    """
+
+    def __init__(
+        self,
+        dictionary: TermDictionary,
+        postings: Sequence[PostingsList],
+        doc_lengths: np.ndarray,
+        analyzer: Analyzer,
+    ):
+        if len(dictionary) != len(postings):
+            raise ValueError(
+                f"dictionary has {len(dictionary)} terms but "
+                f"{len(postings)} postings lists were given"
+            )
+        self.dictionary = dictionary
+        self._postings = list(postings)
+        self.doc_lengths = np.asarray(doc_lengths, dtype=np.int64)
+        self.analyzer = analyzer
+
+    @property
+    def num_documents(self) -> int:
+        """Number of documents in the indexed collection."""
+        return int(self.doc_lengths.size)
+
+    @property
+    def num_terms(self) -> int:
+        """Number of distinct terms."""
+        return len(self.dictionary)
+
+    @property
+    def total_postings(self) -> int:
+        """Total number of postings across all terms."""
+        return sum(len(postings) for postings in self._postings)
+
+    @property
+    def average_doc_length(self) -> float:
+        """Mean analyzed document length (0.0 for an empty index)."""
+        if self.doc_lengths.size == 0:
+            return 0.0
+        return float(self.doc_lengths.mean())
+
+    def term_info(self, term: str) -> Optional[TermInfo]:
+        """Dictionary entry for ``term``, or None if absent."""
+        return self.dictionary.lookup(term)
+
+    def postings_for(self, term: str) -> PostingsList:
+        """Postings of ``term``; empty list if the term is unknown."""
+        info = self.dictionary.lookup(term)
+        if info is None:
+            return PostingsList.empty()
+        return self._postings[info.term_id]
+
+    def postings_for_id(self, term_id: int) -> PostingsList:
+        """Postings by dense term id."""
+        return self._postings[term_id]
+
+    def document_frequency(self, term: str) -> int:
+        """Number of documents containing ``term`` (0 if unknown)."""
+        info = self.dictionary.lookup(term)
+        return info.document_frequency if info else 0
+
+    def doc_length(self, doc_id: int) -> int:
+        """Analyzed length of document ``doc_id``."""
+        return int(self.doc_lengths[doc_id])
+
+    def matched_postings_volume(self, terms: List[str]) -> int:
+        """Total postings touched when evaluating ``terms``.
+
+        This is the work proxy used throughout the characterization: a
+        disjunctive top-k evaluation reads every posting of every query
+        term, so service time is roughly affine in this volume.
+        """
+        return sum(self.document_frequency(term) for term in terms)
+
+    def all_postings(self) -> List[PostingsList]:
+        """All postings lists in term-id order (do not mutate)."""
+        return self._postings

@@ -1,0 +1,136 @@
+"""Positional indexing: term positions for phrase queries.
+
+The benchmark's index serving node (Lucene-based) stores term positions
+so it can answer phrase queries ("new york") and generate highlighted
+snippets.  ``PositionalIndexBuilder`` produces a regular
+:class:`~repro.index.inverted.InvertedIndex` plus, per term, the
+in-document token positions of every occurrence.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.corpus.documents import DocumentCollection
+from repro.index.dictionary import TermDictionary
+from repro.index.inverted import InvertedIndex
+from repro.index.postings import PostingsList
+from repro.text.analyzer import Analyzer, default_analyzer
+
+
+class PositionalPostings:
+    """Positions of one term: per document, the sorted token offsets."""
+
+    __slots__ = ("_doc_ids", "_positions")
+
+    def __init__(self, doc_ids: Sequence[int], positions: List[np.ndarray]):
+        doc_array = np.asarray(doc_ids, dtype=np.int64)
+        if len(positions) != doc_array.size:
+            raise ValueError(
+                f"{doc_array.size} doc ids but {len(positions)} position lists"
+            )
+        if doc_array.size > 1 and not np.all(np.diff(doc_array) > 0):
+            raise ValueError("doc_ids must be strictly increasing")
+        for position_list in positions:
+            if len(position_list) == 0:
+                raise ValueError("every posting needs at least one position")
+        self._doc_ids = doc_array
+        self._positions = [
+            np.asarray(position_list, dtype=np.int64)
+            for position_list in positions
+        ]
+
+    def __len__(self) -> int:
+        return int(self._doc_ids.size)
+
+    @property
+    def doc_ids(self) -> np.ndarray:
+        """Sorted doc ids (do not mutate)."""
+        return self._doc_ids
+
+    def positions_in(self, doc_id: int) -> Optional[np.ndarray]:
+        """Token positions of the term in ``doc_id`` (None if absent)."""
+        index = int(np.searchsorted(self._doc_ids, doc_id))
+        if index < len(self) and self._doc_ids[index] == doc_id:
+            return self._positions[index]
+        return None
+
+    def to_postings(self) -> PostingsList:
+        """Project to a frequency-only postings list."""
+        frequencies = np.array(
+            [len(position_list) for position_list in self._positions],
+            dtype=np.int64,
+        )
+        return PostingsList(self._doc_ids, frequencies)
+
+
+@dataclass(frozen=True)
+class PositionalIndex:
+    """An inverted index plus per-term position lists."""
+
+    index: InvertedIndex
+    _positions: Dict[str, PositionalPostings]
+
+    def positions_for(self, term: str) -> Optional[PositionalPostings]:
+        """Position postings of ``term`` (None for unknown terms)."""
+        return self._positions.get(term)
+
+    @property
+    def analyzer(self) -> Analyzer:
+        """The analyzer the index was built with."""
+        return self.index.analyzer
+
+
+class PositionalIndexBuilder:
+    """Builds a :class:`PositionalIndex` from a document collection.
+
+    One analysis pass produces both the frequency postings and the
+    position lists, guaranteeing they agree (a property the test suite
+    checks via :meth:`PositionalPostings.to_postings`).
+    """
+
+    def __init__(self, analyzer: Optional[Analyzer] = None):
+        self.analyzer = analyzer or default_analyzer()
+
+    def build(self, collection: DocumentCollection) -> PositionalIndex:
+        """Analyze and index every document with positions."""
+        term_positions: Dict[str, Dict[int, List[int]]] = defaultdict(dict)
+        doc_lengths = np.zeros(len(collection), dtype=np.int64)
+
+        for document in collection:
+            terms = self.analyzer.analyze(document.text)
+            doc_lengths[document.doc_id] = len(terms)
+            for position, term in enumerate(terms):
+                term_positions[term].setdefault(document.doc_id, []).append(
+                    position
+                )
+
+        dictionary = TermDictionary()
+        postings: List[PostingsList] = []
+        positions: Dict[str, PositionalPostings] = {}
+        for term in sorted(term_positions):
+            per_doc = term_positions[term]
+            doc_ids = sorted(per_doc)
+            positional = PositionalPostings(
+                doc_ids, [np.array(per_doc[doc_id]) for doc_id in doc_ids]
+            )
+            positions[term] = positional
+            postings_list = positional.to_postings()
+            dictionary.add(
+                term,
+                document_frequency=postings_list.document_frequency(),
+                collection_frequency=postings_list.collection_frequency(),
+            )
+            postings.append(postings_list)
+
+        index = InvertedIndex(
+            dictionary=dictionary,
+            postings=postings,
+            doc_lengths=doc_lengths,
+            analyzer=self.analyzer,
+        )
+        return PositionalIndex(index=index, _positions=positions)

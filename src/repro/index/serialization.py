@@ -1,0 +1,224 @@
+"""Binary (de)serialization of inverted indexes.
+
+The on-disk format mirrors a classic search index layout: a header, the
+document-length table, then the dictionary interleaved with compressed
+postings blocks (delta-gapped doc ids, varint-coded).  The analyzer
+configuration is stored so a loaded index normalizes queries exactly
+like the index that produced it.
+
+Format (all integers varint unless noted)::
+
+    magic   4 bytes  b"RIDX"
+    version 1 byte
+    flags   1 byte   bit0=lowercase bit1=remove_stopwords bit2=stem
+    max_token_length
+    num_documents
+    doc_lengths[num_documents]
+    num_terms
+    repeat num_terms times:
+        term_utf8_length, term_utf8_bytes
+        postings block (see repro.index.compression.encode_postings)
+
+The default stopword set is assumed; custom stopword sets are not
+persisted (raise at save time rather than silently dropping them).
+
+A second format, ``RIXP``, persists a positional index: the postings
+block per term is followed by, for each posting, its delta-gapped
+position list — enabling phrase queries over a loaded index.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import BinaryIO, List, Union
+
+import numpy as np
+
+from repro.index.compression import (
+    decode_postings,
+    decode_varint,
+    encode_postings,
+    encode_varint,
+)
+from repro.index.dictionary import TermDictionary
+from repro.index.inverted import InvertedIndex
+from repro.index.postings import PostingsList
+from repro.text.analyzer import Analyzer, AnalyzerConfig
+from repro.text.stopwords import DEFAULT_STOPWORDS
+
+_MAGIC = b"RIDX"
+_POSITIONAL_MAGIC = b"RIXP"
+_VERSION = 1
+
+
+def save_index(index: InvertedIndex, path: Union[str, Path]) -> int:
+    """Write ``index`` to ``path``; returns the number of bytes written."""
+    data = serialize_index(index)
+    Path(path).write_bytes(data)
+    return len(data)
+
+
+def load_index(path: Union[str, Path]) -> InvertedIndex:
+    """Load an index previously written by :func:`save_index`."""
+    return deserialize_index(Path(path).read_bytes())
+
+
+def serialize_index(index: InvertedIndex) -> bytes:
+    """Serialize ``index`` to bytes in the RIDX format."""
+    config = index.analyzer.config
+    if config.remove_stopwords and config.stopwords != DEFAULT_STOPWORDS:
+        raise ValueError(
+            "custom stopword sets are not persistable; "
+            "use the default stopword set or disable stopword removal"
+        )
+    out = io.BytesIO()
+    out.write(_MAGIC)
+    out.write(bytes([_VERSION]))
+    flags = (
+        (1 if config.lowercase else 0)
+        | (2 if config.remove_stopwords else 0)
+        | (4 if config.stem else 0)
+    )
+    out.write(bytes([flags]))
+    out.write(encode_varint(config.max_token_length))
+    out.write(encode_varint(index.num_documents))
+    for length in index.doc_lengths:
+        out.write(encode_varint(int(length)))
+    out.write(encode_varint(index.num_terms))
+    for term_id in range(index.num_terms):
+        term = index.dictionary.term_for_id(term_id)
+        term_bytes = term.encode("utf-8")
+        out.write(encode_varint(len(term_bytes)))
+        out.write(term_bytes)
+        out.write(encode_postings(index.postings_for_id(term_id)))
+    return out.getvalue()
+
+
+def deserialize_index(data: bytes) -> InvertedIndex:
+    """Reconstruct an index from RIDX bytes."""
+    index, offset = _deserialize_index_prefix(data)
+    if offset != len(data):
+        raise ValueError(f"trailing bytes after index: {len(data) - offset}")
+    return index
+
+
+def save_positional_index(positional, path: Union[str, Path]) -> int:
+    """Write a positional index to ``path``; returns bytes written."""
+    data = serialize_positional_index(positional)
+    Path(path).write_bytes(data)
+    return len(data)
+
+
+def load_positional_index(path: Union[str, Path]):
+    """Load a positional index written by :func:`save_positional_index`."""
+    return deserialize_positional_index(Path(path).read_bytes())
+
+
+def serialize_positional_index(positional) -> bytes:
+    """Serialize a :class:`~repro.index.positional.PositionalIndex`.
+
+    Layout: the plain ``RIDX`` payload with its magic swapped to
+    ``RIXP``, followed by, for every term in dictionary order and every
+    posting in doc order, the delta-gapped position list (the counts
+    are already known from the postings frequencies).
+    """
+    base = bytearray(serialize_index(positional.index))
+    base[:4] = _POSITIONAL_MAGIC
+    out = io.BytesIO()
+    out.write(bytes(base))
+    index = positional.index
+    for term_id in range(index.num_terms):
+        term = index.dictionary.term_for_id(term_id)
+        postings = positional.positions_for(term)
+        for doc_id in postings.doc_ids:
+            previous = -1
+            for position in postings.positions_in(int(doc_id)):
+                out.write(encode_varint(int(position) - previous - 1))
+                previous = int(position)
+    return out.getvalue()
+
+
+def deserialize_positional_index(data: bytes):
+    """Reconstruct a positional index from ``RIXP`` bytes."""
+    from repro.index.positional import PositionalIndex, PositionalPostings
+
+    if data[:4] != _POSITIONAL_MAGIC:
+        raise ValueError("not a RIXP positional index (bad magic)")
+    # Reuse the plain deserializer on the embedded RIDX payload; it
+    # reports where the postings end via its trailing-bytes error, so
+    # parse manually up to the index end instead.
+    swapped = _MAGIC + data[4:]
+    index, offset = _deserialize_index_prefix(swapped)
+
+    positions = {}
+    for term_id in range(index.num_terms):
+        term = index.dictionary.term_for_id(term_id)
+        postings = index.postings_for_id(term_id)
+        per_doc = []
+        for frequency in postings.frequencies:
+            values = np.empty(int(frequency), dtype=np.int64)
+            previous = -1
+            for slot in range(int(frequency)):
+                gap, offset = decode_varint(data, offset)
+                value = previous + gap + 1
+                values[slot] = value
+                previous = value
+            per_doc.append(values)
+        positions[term] = PositionalPostings(postings.doc_ids, per_doc)
+    if offset != len(data):
+        raise ValueError(
+            f"trailing bytes after positions: {len(data) - offset}"
+        )
+    return PositionalIndex(index=index, _positions=positions)
+
+
+def _deserialize_index_prefix(data: bytes):
+    """Parse a RIDX payload that may have trailing data.
+
+    Returns ``(index, offset_after_index)``.
+    """
+    if data[:4] != _MAGIC:
+        raise ValueError("not a RIDX index (bad magic)")
+    if data[4] != _VERSION:
+        raise ValueError(f"unsupported RIDX version {data[4]}")
+    flags = data[5]
+    offset = 6
+    max_token_length, offset = decode_varint(data, offset)
+    analyzer = Analyzer(
+        config=AnalyzerConfig(
+            lowercase=bool(flags & 1),
+            remove_stopwords=bool(flags & 2),
+            stem=bool(flags & 4),
+            max_token_length=max_token_length,
+        )
+    )
+    num_documents, offset = decode_varint(data, offset)
+    doc_lengths = np.empty(num_documents, dtype=np.int64)
+    for index_position in range(num_documents):
+        value, offset = decode_varint(data, offset)
+        doc_lengths[index_position] = value
+    num_terms, offset = decode_varint(data, offset)
+    dictionary = TermDictionary()
+    postings: List[PostingsList] = []
+    for _ in range(num_terms):
+        term_length, offset = decode_varint(data, offset)
+        term = data[offset : offset + term_length].decode("utf-8")
+        offset += term_length
+        postings_list, consumed = decode_postings(data[offset:])
+        offset += consumed
+        dictionary.add(
+            term,
+            document_frequency=postings_list.document_frequency(),
+            collection_frequency=postings_list.collection_frequency(),
+        )
+        postings.append(postings_list)
+    return (
+        InvertedIndex(
+            dictionary=dictionary,
+            postings=postings,
+            doc_lengths=doc_lengths,
+            analyzer=analyzer,
+        ),
+        offset,
+    )

@@ -1,0 +1,84 @@
+"""Index statistics for the characterization tables.
+
+The paper's Table-1-style characterization reports collection and index
+statistics (documents, terms, postings, posting-length skew, compressed
+size).  :func:`compute_statistics` derives them all from an
+:class:`~repro.index.inverted.InvertedIndex`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.index.compression import compressed_size
+from repro.index.inverted import InvertedIndex
+
+
+@dataclass(frozen=True)
+class IndexStatistics:
+    """Summary statistics of one inverted index.
+
+    Posting-length percentiles expose the Zipfian skew: with a crawl-like
+    corpus the p99 posting length is orders of magnitude above the median,
+    which is why some queries are intrinsically far more expensive than
+    others.
+    """
+
+    num_documents: int
+    num_terms: int
+    total_postings: int
+    average_doc_length: float
+    mean_posting_length: float
+    median_posting_length: float
+    p90_posting_length: float
+    p99_posting_length: float
+    max_posting_length: int
+    compressed_size_bytes: int
+
+    def as_rows(self) -> Dict[str, float]:
+        """Return the table rows (label -> value) for reporting."""
+        return {
+            "documents": self.num_documents,
+            "distinct terms": self.num_terms,
+            "total postings": self.total_postings,
+            "avg document length (terms)": round(self.average_doc_length, 1),
+            "mean posting length": round(self.mean_posting_length, 2),
+            "median posting length": self.median_posting_length,
+            "p90 posting length": self.p90_posting_length,
+            "p99 posting length": self.p99_posting_length,
+            "max posting length": self.max_posting_length,
+            "compressed index size (bytes)": self.compressed_size_bytes,
+        }
+
+
+def compute_statistics(
+    index: InvertedIndex, include_compressed_size: bool = True
+) -> IndexStatistics:
+    """Compute :class:`IndexStatistics` for ``index``.
+
+    ``include_compressed_size=False`` skips the (relatively expensive)
+    varint encoding pass and reports 0 for the size.
+    """
+    lengths = np.array(
+        [len(postings) for postings in index.all_postings()], dtype=np.int64
+    )
+    if lengths.size == 0:
+        lengths = np.zeros(1, dtype=np.int64)
+    size = 0
+    if include_compressed_size:
+        size = sum(compressed_size(postings) for postings in index.all_postings())
+    return IndexStatistics(
+        num_documents=index.num_documents,
+        num_terms=index.num_terms,
+        total_postings=index.total_postings,
+        average_doc_length=index.average_doc_length,
+        mean_posting_length=float(lengths.mean()),
+        median_posting_length=float(np.percentile(lengths, 50)),
+        p90_posting_length=float(np.percentile(lengths, 90)),
+        p99_posting_length=float(np.percentile(lengths, 99)),
+        max_posting_length=int(lengths.max()),
+        compressed_size_bytes=size,
+    )

@@ -1,0 +1,25 @@
+"""Latency, throughput, and distribution metrics.
+
+Everything the paper reports is a statistic over per-query latencies or
+completion timestamps; this package provides exact percentile
+computation (:mod:`latency`), windowed throughput (:mod:`throughput`),
+log-binned histograms/CDFs (:mod:`histogram`), and the summary record
+used across studies and benchmarks (:mod:`summary`).
+"""
+
+from repro.metrics.export import export_measurements_csv, export_simulation_csv
+from repro.metrics.histogram import Histogram, cdf_points
+from repro.metrics.latency import LatencyRecorder
+from repro.metrics.summary import LatencySummary, summarize
+from repro.metrics.throughput import ThroughputTracker
+
+__all__ = [
+    "Histogram",
+    "cdf_points",
+    "LatencyRecorder",
+    "LatencySummary",
+    "summarize",
+    "ThroughputTracker",
+    "export_simulation_csv",
+    "export_measurements_csv",
+]

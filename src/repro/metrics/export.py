@@ -1,0 +1,88 @@
+"""Exporting measurement records to CSV.
+
+Simulation runs and native replay measurements are the raw data behind
+every figure; exporting them lets external tooling (spreadsheets,
+pandas, R) re-analyze a run without re-simulating.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence, Union
+
+if TYPE_CHECKING:  # imported lazily at runtime: cluster depends on metrics
+    from repro.cluster.results import SimulationResult
+    from repro.engine.driver import QueryMeasurement
+
+PathLike = Union[str, Path]
+
+#: Mirrors repro.cluster.results.BREAKDOWN_COMPONENTS (kept literal here
+#: to avoid a metrics -> cluster import cycle; test_io_export verifies
+#: the two stay in sync).
+_BREAKDOWN_COMPONENTS = (
+    "queue_wait",
+    "parallel_service",
+    "straggler_skew",
+    "merge_wait",
+    "merge_service",
+    "network_time",
+)
+
+SIMULATION_COLUMNS = (
+    "query_id",
+    "client_send",
+    "demand",
+    "latency",
+) + _BREAKDOWN_COMPONENTS
+
+MEASUREMENT_COLUMNS = (
+    "query_id",
+    "text",
+    "num_raw_terms",
+    "service_seconds",
+    "matched_volume",
+    "num_hits",
+)
+
+
+def export_simulation_csv(result: "SimulationResult", path: PathLike) -> int:
+    """Write one row per simulated query; returns rows written."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(SIMULATION_COLUMNS)
+        for record in result.records:
+            writer.writerow(
+                [
+                    record.query_id,
+                    f"{record.client_send:.9f}",
+                    f"{record.demand:.9f}",
+                    f"{record.latency:.9f}",
+                ]
+                + [
+                    f"{getattr(record, component):.9f}"
+                    for component in _BREAKDOWN_COMPONENTS
+                ]
+            )
+    return len(result.records)
+
+
+def export_measurements_csv(
+    measurements: Sequence["QueryMeasurement"], path: PathLike
+) -> int:
+    """Write one row per native replay measurement; returns rows written."""
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(MEASUREMENT_COLUMNS)
+        for measurement in measurements:
+            writer.writerow(
+                [
+                    measurement.query_id,
+                    measurement.text,
+                    measurement.num_raw_terms,
+                    f"{measurement.service_seconds:.9f}",
+                    measurement.matched_volume,
+                    measurement.num_hits,
+                ]
+            )
+    return len(measurements)

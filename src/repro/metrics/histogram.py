@@ -1,0 +1,85 @@
+"""Log-binned histograms and empirical CDFs for latency distributions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """A log-spaced histogram of positive samples.
+
+    Attributes
+    ----------
+    bin_edges:
+        Monotonic bin boundaries, length ``len(counts) + 1``.
+    counts:
+        Samples per bin.
+    """
+
+    bin_edges: np.ndarray
+    counts: np.ndarray
+
+    @classmethod
+    def from_samples(
+        cls, samples: Sequence[float], num_bins: int = 40
+    ) -> "Histogram":
+        """Build a log-spaced histogram covering the sample range."""
+        if num_bins <= 0:
+            raise ValueError("num_bins must be positive")
+        data = np.asarray(samples, dtype=np.float64)
+        if data.size == 0:
+            raise ValueError("cannot histogram zero samples")
+        if np.any(data <= 0):
+            raise ValueError("log-binned histogram requires positive samples")
+        low, high = float(data.min()), float(data.max())
+        if low == high:
+            high = low * 1.001 + 1e-12
+        edges = np.logspace(np.log10(low), np.log10(high), num_bins + 1)
+        edges[0] = low  # guard against float rounding excluding the min
+        edges[-1] = high
+        counts, _ = np.histogram(data, bins=edges)
+        return cls(bin_edges=edges, counts=counts)
+
+    @property
+    def total(self) -> int:
+        """Total number of samples."""
+        return int(self.counts.sum())
+
+    def densities(self) -> np.ndarray:
+        """Counts normalized to a probability mass per bin."""
+        total = self.total
+        if total == 0:
+            return np.zeros_like(self.counts, dtype=np.float64)
+        return self.counts / total
+
+    def mode_bin(self) -> Tuple[float, float]:
+        """The (low, high) edges of the most populated bin."""
+        index = int(np.argmax(self.counts))
+        return float(self.bin_edges[index]), float(self.bin_edges[index + 1])
+
+
+def cdf_points(
+    samples: Sequence[float], num_points: int = 100
+) -> List[Tuple[float, float]]:
+    """Return ``(value, cumulative_fraction)`` pairs of the empirical CDF.
+
+    Evenly spaced in probability, so tails get the same resolution as
+    the body when plotted.
+    """
+    data = np.sort(np.asarray(samples, dtype=np.float64))
+    if data.size == 0:
+        raise ValueError("cannot compute a CDF of zero samples")
+    if num_points <= 1:
+        raise ValueError("num_points must be at least 2")
+    fractions = np.linspace(0.0, 1.0, num_points)
+    positions = np.minimum(
+        (fractions * (data.size - 1)).round().astype(int), data.size - 1
+    )
+    return [
+        (float(data[position]), float(fraction))
+        for position, fraction in zip(positions, fractions)
+    ]

@@ -1,0 +1,78 @@
+"""The latency summary record reported by every study and benchmark."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Order statistics of one latency distribution (seconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p95: float
+    p99: float
+    p999: float
+    max: float
+
+    @property
+    def tail_ratio(self) -> float:
+        """p99 / p50 — the skew measure used in the tail-latency study."""
+        if self.p50 == 0:
+            return float("inf")
+        return self.p99 / self.p50
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dict for table rendering."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p90": self.p90,
+            "p95": self.p95,
+            "p99": self.p99,
+            "p999": self.p999,
+            "max": self.max,
+        }
+
+    def scaled(self, factor: float) -> "LatencySummary":
+        """Return a copy with every statistic multiplied by ``factor``
+        (e.g. seconds → milliseconds with ``factor=1000``)."""
+        return LatencySummary(
+            count=self.count,
+            mean=self.mean * factor,
+            p50=self.p50 * factor,
+            p90=self.p90 * factor,
+            p95=self.p95 * factor,
+            p99=self.p99 * factor,
+            p999=self.p999 * factor,
+            max=self.max * factor,
+        )
+
+
+def summarize(samples: Sequence[float]) -> LatencySummary:
+    """Compute a :class:`LatencySummary` over ``samples``."""
+    data = np.asarray(samples, dtype=np.float64)
+    if data.size == 0:
+        raise ValueError("cannot summarize zero samples")
+    data = np.sort(data)
+
+    def pct(quantile: float) -> float:
+        return float(np.percentile(data, quantile, method="lower"))
+
+    return LatencySummary(
+        count=int(data.size),
+        mean=float(data.mean()),
+        p50=pct(50),
+        p90=pct(90),
+        p95=pct(95),
+        p99=pct(99),
+        p999=pct(99.9),
+        max=float(data[-1]),
+    )

@@ -1,0 +1,56 @@
+"""Throughput measurement from completion timestamps."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+
+class ThroughputTracker:
+    """Derives sustained throughput from query completion times."""
+
+    def __init__(self) -> None:
+        self._completions: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._completions)
+
+    def record(self, completion_time: float) -> None:
+        """Record one query completion timestamp (seconds)."""
+        if completion_time < 0:
+            raise ValueError("completion_time must be non-negative")
+        self._completions.append(float(completion_time))
+
+    def record_many(self, completion_times: Iterable[float]) -> None:
+        """Record a batch of completion timestamps."""
+        for completion_time in completion_times:
+            self.record(completion_time)
+
+    def overall_qps(self) -> float:
+        """Completions divided by the observed time span.
+
+        Requires at least two completions (a single completion has no
+        span to divide by).
+        """
+        if len(self._completions) < 2:
+            raise ValueError("need at least two completions")
+        times = np.sort(np.asarray(self._completions))
+        span = float(times[-1] - times[0])
+        if span == 0:
+            return float("inf")
+        # N completions over the span between first and last: (N-1)/span
+        # is the unbiased rate estimate.
+        return (len(times) - 1) / span
+
+    def windowed_qps(self, window_seconds: float) -> np.ndarray:
+        """Per-window throughput across the run (for burst inspection)."""
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if not self._completions:
+            return np.empty(0)
+        times = np.asarray(self._completions)
+        end = times.max()
+        edges = np.arange(0.0, end + window_seconds, window_seconds)
+        counts, _ = np.histogram(times, bins=edges)
+        return counts / window_seconds

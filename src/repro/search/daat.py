@@ -1,0 +1,121 @@
+"""Document-at-a-time (DAAT) query evaluation.
+
+DAAT is how Lucene — and hence the benchmark's index serving node —
+evaluates ranked boolean queries: one cursor per query term advances in
+lock-step over doc-id-sorted postings, scoring each candidate document
+completely before moving on.  Service time is proportional to the total
+postings volume traversed, which is the work model the paper's
+characterization (and our simulator calibration) relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Sequence
+
+from repro.index.inverted import InvertedIndex
+from repro.search.query import ParsedQuery, QueryMode
+from repro.search.scoring import BM25Scorer, Scorer, resolve_idf
+from repro.search.topk import SearchHit, TopKHeap
+
+
+class _Cursor:
+    """A traversal cursor over one term's postings."""
+
+    __slots__ = ("doc_ids", "frequencies", "position", "idf")
+
+    def __init__(self, postings, idf: float):
+        self.doc_ids = postings.doc_ids
+        self.frequencies = postings.frequencies
+        self.position = 0
+        self.idf = idf
+
+    @property
+    def exhausted(self) -> bool:
+        return self.position >= len(self.doc_ids)
+
+    @property
+    def current(self) -> int:
+        return int(self.doc_ids[self.position])
+
+    @property
+    def current_frequency(self) -> int:
+        return int(self.frequencies[self.position])
+
+    def advance(self) -> None:
+        self.position += 1
+
+
+def score_daat(
+    index: InvertedIndex,
+    query: ParsedQuery,
+    scorer: Scorer | None = None,
+) -> List[SearchHit]:
+    """Evaluate ``query`` over ``index`` document-at-a-time.
+
+    Returns the top-k hits (best first).  ``scorer`` defaults to BM25
+    with the index's collection statistics.
+    """
+    if query.is_empty:
+        return []
+    if scorer is None:
+        scorer = BM25Scorer(
+            num_documents=index.num_documents,
+            average_doc_length=index.average_doc_length,
+        )
+
+    cursors = _open_cursors(index, query.terms, scorer)
+    if not cursors:
+        return []
+    if query.mode is QueryMode.AND and len(cursors) < len(query.terms):
+        # A conjunctive query with a term absent from the index matches
+        # nothing.
+        return []
+
+    heap = TopKHeap(query.k)
+    doc_lengths = index.doc_lengths
+    required = len(query.terms) if query.mode is QueryMode.AND else 1
+
+    # Min-heap of (current_doc_id, cursor_index) drives the lock-step.
+    frontier = [
+        (cursor.current, cursor_index)
+        for cursor_index, cursor in enumerate(cursors)
+    ]
+    heapq.heapify(frontier)
+
+    while frontier:
+        doc_id = frontier[0][0]
+        score = 0.0
+        matched = 0
+        # Pop every cursor positioned on doc_id, score, and re-push.
+        while frontier and frontier[0][0] == doc_id:
+            _, cursor_index = heapq.heappop(frontier)
+            cursor = cursors[cursor_index]
+            score += scorer.score(
+                cursor.current_frequency, int(doc_lengths[doc_id]), cursor.idf
+            )
+            matched += 1
+            cursor.advance()
+            if not cursor.exhausted:
+                heapq.heappush(frontier, (cursor.current, cursor_index))
+        if matched >= required:
+            heap.offer(doc_id, score)
+
+    return heap.results()
+
+
+def _open_cursors(
+    index: InvertedIndex, terms: Sequence[str], scorer: Scorer
+) -> List[_Cursor]:
+    cursors: List[_Cursor] = []
+    for term in terms:
+        info = index.term_info(term)
+        if info is None:
+            continue
+        postings = index.postings_for_id(info.term_id)
+        if len(postings) == 0:
+            continue
+        cursors.append(
+            _Cursor(postings, resolve_idf(scorer, term, info.document_frequency))
+        )
+    return cursors

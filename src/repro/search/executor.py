@@ -1,0 +1,154 @@
+"""Search execution facade over one index or one shard."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple, Union
+
+from repro.index.inverted import InvertedIndex
+from repro.index.partitioner import IndexShard
+from repro.search.daat import score_daat
+from repro.search.query import DEFAULT_TOP_K, ParsedQuery, QueryMode, QueryParser
+from repro.search.scoring import BM25Scorer, Scorer
+from repro.search.taat import score_taat
+from repro.search.topk import SearchHit
+from repro.search.wand import score_wand
+
+#: Supported traversal algorithms.
+ALGORITHMS = ("daat", "taat", "wand")
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """The outcome of evaluating one query against one index/shard.
+
+    Attributes
+    ----------
+    hits:
+        Ranked hits, best first.  When produced by a
+        :class:`ShardSearcher`, doc ids are collection-global.
+    query:
+        The parsed query that was evaluated.
+    matched_volume:
+        Total postings volume of the query's terms in this index —
+        the per-query work proxy used for characterization/calibration.
+    """
+
+    hits: Tuple[SearchHit, ...]
+    query: ParsedQuery
+    matched_volume: int
+
+    def doc_ids(self) -> List[int]:
+        """Doc ids of the hits, best first."""
+        return [hit.doc_id for hit in self.hits]
+
+    def scores(self) -> List[float]:
+        """Scores of the hits, best first."""
+        return [hit.score for hit in self.hits]
+
+
+@dataclass
+class Searcher:
+    """Evaluates queries against a single inverted index.
+
+    Parameters
+    ----------
+    index:
+        The index to search.
+    algorithm:
+        ``"daat"`` (benchmark-faithful, default), ``"taat"`` (vectorized),
+        or ``"wand"`` (early-terminated; OR queries only).
+    scorer_factory:
+        Builds the scorer from the index; defaults to BM25 with the
+        index's collection statistics.
+    """
+
+    index: InvertedIndex
+    algorithm: str = "daat"
+    scorer_factory: Optional[Callable[[InvertedIndex], Scorer]] = None
+    _parser: QueryParser = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r}; choose from {ALGORITHMS}"
+            )
+        self._parser = QueryParser(analyzer=self.index.analyzer)
+
+    def parse(
+        self,
+        text: str,
+        mode: QueryMode = QueryMode.OR,
+        k: int = DEFAULT_TOP_K,
+    ) -> ParsedQuery:
+        """Parse raw text with the index's analyzer."""
+        return self._parser.parse(text, mode=mode, k=k)
+
+    def search(
+        self,
+        query: Union[str, ParsedQuery],
+        mode: QueryMode = QueryMode.OR,
+        k: int = DEFAULT_TOP_K,
+    ) -> SearchResult:
+        """Evaluate ``query`` (raw text or pre-parsed) and return results."""
+        if isinstance(query, str):
+            query = self.parse(query, mode=mode, k=k)
+        scorer = self._make_scorer()
+        if self.algorithm == "taat":
+            hits = score_taat(self.index, query, scorer)
+        elif self.algorithm == "wand":
+            hits = score_wand(self.index, query, scorer)
+        else:
+            hits = score_daat(self.index, query, scorer)
+        return SearchResult(
+            hits=tuple(hits),
+            query=query,
+            matched_volume=self.index.matched_postings_volume(list(query.terms)),
+        )
+
+    def _make_scorer(self) -> Scorer:
+        if self.scorer_factory is not None:
+            return self.scorer_factory(self.index)
+        return BM25Scorer(
+            num_documents=self.index.num_documents,
+            average_doc_length=self.index.average_doc_length,
+        )
+
+
+@dataclass
+class ShardSearcher:
+    """Evaluates queries against one intra-server partition.
+
+    Results are translated to collection-global doc ids so the merger
+    can combine shards directly.
+    """
+
+    shard: IndexShard
+    algorithm: str = "daat"
+    scorer_factory: Optional[Callable[[InvertedIndex], Scorer]] = None
+    _searcher: Searcher = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._searcher = Searcher(
+            index=self.shard.index,
+            algorithm=self.algorithm,
+            scorer_factory=self.scorer_factory,
+        )
+
+    def search(
+        self,
+        query: Union[str, ParsedQuery],
+        mode: QueryMode = QueryMode.OR,
+        k: int = DEFAULT_TOP_K,
+    ) -> SearchResult:
+        """Search the shard; hits carry global doc ids."""
+        local = self._searcher.search(query, mode=mode, k=k)
+        global_hits = tuple(
+            SearchHit(score=hit.score, doc_id=self.shard.to_global(hit.doc_id))
+            for hit in local.hits
+        )
+        return SearchResult(
+            hits=global_hits,
+            query=local.query,
+            matched_volume=local.matched_volume,
+        )

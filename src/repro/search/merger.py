@@ -1,0 +1,30 @@
+"""Merging per-shard top-k results.
+
+With intra-server partitioning, each shard returns its local top-k; the
+merge keeps the global best k by score.  The benchmark (like Lucene's
+multi-segment search at the time) merges by score with shard-local
+statistics, which is exactly what this function does — the ranking
+deviation this introduces versus an unpartitioned index is one of the
+functional behaviours the characterization study measures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.search.topk import SearchHit, TopKHeap
+
+
+def merge_shard_results(
+    shard_hits: Iterable[Sequence[SearchHit]], k: int
+) -> List[SearchHit]:
+    """Merge per-shard hit lists into the global top-k (best first).
+
+    Doc ids must already be collection-global (``ShardSearcher`` does
+    this); ties break toward the lower doc id, as in single-index search.
+    """
+    heap = TopKHeap(k)
+    for hits in shard_hits:
+        for hit in hits:
+            heap.offer(hit.doc_id, hit.score)
+    return heap.results()

@@ -1,0 +1,162 @@
+"""Relevance scoring functions.
+
+The benchmark ranks with Lucene's similarity; we provide Okapi BM25
+(Lucene's successor default and the standard in the literature) plus a
+classic TF-IDF for comparison.  Scorers are stateless value objects
+parameterized by collection statistics, so one scorer instance is built
+per (index, query) evaluation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Protocol
+
+
+class Scorer(Protocol):
+    """Per-term document scorer protocol."""
+
+    def idf(self, document_frequency: int) -> float:
+        """Inverse document frequency weight of a term."""
+        ...
+
+    def score(self, term_frequency: int, doc_length: int, idf: float) -> float:
+        """Score one (term, document) match."""
+        ...
+
+
+@dataclass(frozen=True)
+class BM25Scorer:
+    """Okapi BM25 with the standard Robertson parameters.
+
+    Attributes
+    ----------
+    num_documents:
+        ``N`` of the collection (or shard — the benchmark scores with
+        shard-local statistics).
+    average_doc_length:
+        Mean analyzed document length of the collection/shard.
+    k1:
+        Term-frequency saturation; 1.2 is the classic default.
+    b:
+        Length normalization strength; 0.75 is the classic default.
+    term_idf:
+        Optional per-term idf overrides.  When set, traversal weights a
+        term with ``term_idf[term]`` instead of the idf derived from the
+        (shard-)local document frequency — this is **global-statistics
+        scoring** (distributed idf): all shards of a partitioned index
+        score with collection-wide statistics, making partitioned search
+        return exactly the ranking of the unpartitioned index.
+    """
+
+    num_documents: int
+    average_doc_length: float
+    k1: float = 1.2
+    b: float = 0.75
+    term_idf: Optional[Mapping[str, float]] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.num_documents < 0:
+            raise ValueError("num_documents must be non-negative")
+        if self.k1 < 0 or not 0.0 <= self.b <= 1.0:
+            raise ValueError("invalid BM25 parameters")
+
+    def idf(self, document_frequency: int) -> float:
+        """Lucene-style non-negative BM25 idf."""
+        return math.log(
+            1.0
+            + (self.num_documents - document_frequency + 0.5)
+            / (document_frequency + 0.5)
+        )
+
+    def score(self, term_frequency: int, doc_length: int, idf: float) -> float:
+        """BM25 contribution of one term match."""
+        if term_frequency <= 0:
+            return 0.0
+        average = self.average_doc_length if self.average_doc_length > 0 else 1.0
+        normalizer = self.k1 * (
+            1.0 - self.b + self.b * doc_length / average
+        )
+        return idf * term_frequency * (self.k1 + 1.0) / (term_frequency + normalizer)
+
+    def max_score(self, idf: float) -> float:
+        """Upper bound of :meth:`score` over any document (tf → ∞, b-term → 0).
+
+        Used by WAND-style early termination as a safe per-term bound.
+        """
+        return idf * (self.k1 + 1.0)
+
+
+def resolve_idf(scorer: Scorer, term: str, document_frequency: int) -> float:
+    """Return the idf weight for ``term``.
+
+    Honors the scorer's ``term_idf`` override table when present (global-
+    statistics scoring); otherwise derives the idf from the supplied
+    (typically shard-local) document frequency.
+    """
+    overrides = getattr(scorer, "term_idf", None)
+    if overrides is not None:
+        override = overrides.get(term)
+        if override is not None:
+            return override
+    return scorer.idf(document_frequency)
+
+
+def global_bm25_scorer(
+    num_documents: int,
+    average_doc_length: float,
+    term_document_frequencies: Mapping[str, int],
+    k1: float = 1.2,
+    b: float = 0.75,
+) -> BM25Scorer:
+    """Build a BM25 scorer carrying collection-global term idfs.
+
+    ``term_document_frequencies`` maps each term to its document
+    frequency in the *full* collection (e.g. summed over all shards of a
+    partitioned index).  Shards scoring with the returned scorer rank
+    exactly as an unpartitioned index would.
+    """
+    reference = BM25Scorer(
+        num_documents=num_documents,
+        average_doc_length=average_doc_length,
+        k1=k1,
+        b=b,
+    )
+    term_idf = {
+        term: reference.idf(document_frequency)
+        for term, document_frequency in term_document_frequencies.items()
+    }
+    return BM25Scorer(
+        num_documents=num_documents,
+        average_doc_length=average_doc_length,
+        k1=k1,
+        b=b,
+        term_idf=term_idf,
+    )
+
+
+@dataclass(frozen=True)
+class TfIdfScorer:
+    """Classic log-tf × idf scoring (for baseline comparisons)."""
+
+    num_documents: int
+    average_doc_length: float = 0.0  # unused; kept for protocol symmetry
+
+    def idf(self, document_frequency: int) -> float:
+        """Smoothed idf: ``log(1 + N / (1 + df))``."""
+        return math.log(1.0 + self.num_documents / (1.0 + document_frequency))
+
+    def score(self, term_frequency: int, doc_length: int, idf: float) -> float:
+        """``(1 + log tf) * idf``; doc length is ignored."""
+        if term_frequency <= 0:
+            return 0.0
+        return (1.0 + math.log(term_frequency)) * idf
+
+    def max_score(self, idf: float) -> float:
+        """A loose but safe upper bound for early termination.
+
+        tf is bounded by the longest document; we use 1e6 as a corpus-
+        independent cap, giving ``(1 + ln 1e6) * idf``.
+        """
+        return (1.0 + math.log(1e6)) * idf

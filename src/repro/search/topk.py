@@ -1,0 +1,75 @@
+"""Bounded top-k heap for result accumulation."""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True, order=True)
+class SearchHit:
+    """One ranked result: a document id and its relevance score.
+
+    Ordering is by ``(score, -doc_id)`` — ties in score rank the lower
+    doc id first, matching the benchmark's stable tie-breaking.
+    """
+
+    score: float
+    doc_id: int
+
+    def sort_key(self) -> tuple:
+        return (-self.score, self.doc_id)
+
+
+class TopKHeap:
+    """Keeps the ``k`` best ``(score, doc_id)`` entries seen so far.
+
+    Internally a min-heap of size ≤ k over ``(score, -doc_id)`` so the
+    weakest retained hit is at the root; :meth:`threshold` exposes its
+    score, which WAND-style early termination uses as the pruning bound.
+    """
+
+    def __init__(self, k: int):
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        self.k = k
+        # Heap entries are (score, -doc_id): on equal scores, the entry
+        # with the *higher* doc id is the weaker one and is evicted first.
+        self._heap: List[tuple] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def is_full(self) -> bool:
+        """True once ``k`` hits are retained."""
+        return len(self._heap) >= self.k
+
+    def threshold(self) -> float:
+        """Score a new hit must exceed to enter a full heap.
+
+        Returns ``-inf`` while the heap is not yet full.
+        """
+        if not self.is_full:
+            return float("-inf")
+        return self._heap[0][0]
+
+    def offer(self, doc_id: int, score: float) -> bool:
+        """Consider a hit; returns True if it was retained."""
+        entry = (score, -doc_id)
+        if not self.is_full:
+            heapq.heappush(self._heap, entry)
+            return True
+        if entry > self._heap[0]:
+            heapq.heapreplace(self._heap, entry)
+            return True
+        return False
+
+    def results(self) -> List[SearchHit]:
+        """Return retained hits, best first (score desc, doc id asc)."""
+        ordered = sorted(self._heap, reverse=True)
+        return [
+            SearchHit(score=score, doc_id=-negated_id)
+            for score, negated_id in ordered
+        ]

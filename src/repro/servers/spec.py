@@ -1,0 +1,65 @@
+"""Parametric server specification."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """A server model for the simulated index serving node.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier.
+    num_cores:
+        Hardware contexts available to partition tasks.
+    core_speed:
+        Per-core speed relative to the reference core service demands
+        are calibrated on (the big server's core is the reference, 1.0).
+    idle_power_watts:
+        Wall power at zero utilization.
+    peak_power_watts:
+        Wall power at full utilization.
+    """
+
+    name: str
+    num_cores: int
+    core_speed: float
+    idle_power_watts: float
+    peak_power_watts: float
+
+    def __post_init__(self) -> None:
+        if self.num_cores <= 0:
+            raise ValueError("num_cores must be positive")
+        if self.core_speed <= 0:
+            raise ValueError("core_speed must be positive")
+        if self.idle_power_watts < 0:
+            raise ValueError("idle power must be non-negative")
+        if self.peak_power_watts < self.idle_power_watts:
+            raise ValueError("peak power cannot be below idle power")
+
+    @property
+    def compute_capacity(self) -> float:
+        """Total reference-core-seconds of work per second of wall time."""
+        return self.num_cores * self.core_speed
+
+    def scaled(self, frequency_factor: float, name: str | None = None) -> "ServerSpec":
+        """A DVFS-scaled variant: core speed multiplied by ``frequency_factor``.
+
+        Dynamic power scales roughly with f·V² ≈ f³ at the envelope; we
+        apply the cubic rule to the dynamic (peak − idle) component,
+        which is the standard first-order DVFS model.
+        """
+        if frequency_factor <= 0:
+            raise ValueError("frequency_factor must be positive")
+        dynamic = self.peak_power_watts - self.idle_power_watts
+        return ServerSpec(
+            name=name or f"{self.name}@{frequency_factor:.2f}x",
+            num_cores=self.num_cores,
+            core_speed=self.core_speed * frequency_factor,
+            idle_power_watts=self.idle_power_watts,
+            peak_power_watts=self.idle_power_watts
+            + dynamic * frequency_factor**3,
+        )

@@ -1,0 +1,29 @@
+"""Discrete-event simulation core.
+
+A small, deterministic DES kernel: an event heap with a clock
+(:mod:`engine`), a FCFS multi-core resource (:mod:`resources`), named
+reproducible RNG streams (:mod:`random`), and network delay models
+(:mod:`network`).  The simulated search cluster in :mod:`repro.cluster`
+is built entirely on these primitives.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.hiccups import HiccupConfig, HiccupSchedule
+from repro.sim.network import FixedDelay, LognormalDelay, NetworkModel, NoDelay
+from repro.sim.outages import FixedOutages, OutageSpec
+from repro.sim.random import RandomStreams
+from repro.sim.resources import CoreBank
+
+__all__ = [
+    "Simulator",
+    "CoreBank",
+    "RandomStreams",
+    "NetworkModel",
+    "NoDelay",
+    "FixedDelay",
+    "LognormalDelay",
+    "HiccupConfig",
+    "HiccupSchedule",
+    "FixedOutages",
+    "OutageSpec",
+]

@@ -1,0 +1,55 @@
+"""Network delay models for the client ↔ frontend ↔ ISN hops."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+
+class NetworkModel(Protocol):
+    """One-way network delay sampler."""
+
+    def delay(self, rng: np.random.Generator) -> float:
+        """Sample a one-way delay in seconds."""
+        ...
+
+
+@dataclass(frozen=True)
+class NoDelay:
+    """Zero network delay (intra-server hops)."""
+
+    def delay(self, rng: np.random.Generator) -> float:
+        return 0.0
+
+
+@dataclass(frozen=True)
+class FixedDelay:
+    """Constant one-way delay (e.g. a switched datacenter hop)."""
+
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0:
+            raise ValueError("delay must be non-negative")
+
+    def delay(self, rng: np.random.Generator) -> float:
+        return self.seconds
+
+
+@dataclass(frozen=True)
+class LognormalDelay:
+    """Log-normal delay: a body near ``median`` with an RPC-like tail."""
+
+    median: float
+    sigma: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.median <= 0:
+            raise ValueError("median must be positive")
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+
+    def delay(self, rng: np.random.Generator) -> float:
+        return float(self.median * np.exp(self.sigma * rng.standard_normal()))

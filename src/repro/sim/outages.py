@@ -1,0 +1,103 @@
+"""Scheduled outage (brownout) injection.
+
+Where :mod:`repro.sim.hiccups` models a stochastic pause *process*,
+``FixedOutages`` models deterministic, scripted stall windows — "this
+replica freezes from t=2.0s for 500 ms" — the standard failure-
+injection shape for studying failover behaviour.  It implements the
+same ``execute`` interface the core bank consumes, so any server can
+be given scripted brownouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class OutageSpec:
+    """One scripted brownout of one replica.
+
+    Attributes
+    ----------
+    shard / replica:
+        Which server stalls (indexes into the replicated cluster).
+    start / duration:
+        The stall window in simulation seconds.
+    """
+
+    shard: int
+    replica: int
+    start: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.shard < 0 or self.replica < 0:
+            raise ValueError("shard and replica must be non-negative")
+        if self.start < 0:
+            raise ValueError("start must be non-negative")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+
+
+class FixedOutages:
+    """A fixed set of stall intervals with hiccup-compatible semantics.
+
+    Overlapping or adjacent intervals are merged at construction.
+    """
+
+    def __init__(self, intervals: Sequence[Tuple[float, float]]):
+        cleaned: List[Tuple[float, float]] = []
+        for start, duration in intervals:
+            if start < 0 or duration <= 0:
+                raise ValueError(
+                    "intervals need non-negative start and positive duration"
+                )
+            cleaned.append((float(start), float(start + duration)))
+        cleaned.sort()
+        merged: List[Tuple[float, float]] = []
+        for start, end in cleaned:
+            if merged and start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((start, end))
+        self._starts = np.array([start for start, _ in merged])
+        self._ends = np.array([end for _, end in merged])
+
+    def pauses_up_to(self, time: float) -> List[Tuple[float, float]]:
+        """All stall intervals starting at or before ``time``."""
+        return [
+            (float(start), float(end))
+            for start, end in zip(self._starts, self._ends)
+            if start <= time
+        ]
+
+    def execute(self, start: float, busy_seconds: float) -> Tuple[float, float]:
+        """Run ``busy_seconds`` of work from ``start``, skipping stalls.
+
+        Same contract as :meth:`repro.sim.hiccups.HiccupSchedule.execute`.
+        """
+        if busy_seconds < 0:
+            raise ValueError("busy_seconds must be non-negative")
+        index = int(np.searchsorted(self._ends, start, side="right"))
+        clock = start
+        if index < self._starts.size and self._starts[index] <= clock:
+            clock = float(self._ends[index])
+            index += 1
+        actual_start = clock
+        remaining = busy_seconds
+        while remaining > 0:
+            if (
+                index < self._starts.size
+                and self._starts[index] < clock + remaining
+            ):
+                executed = float(self._starts[index]) - clock
+                remaining -= executed
+                clock = float(self._ends[index])
+                index += 1
+            else:
+                clock += remaining
+                remaining = 0.0
+        return actual_start, clock

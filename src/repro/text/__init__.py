@@ -1,0 +1,23 @@
+"""Text analysis pipeline: tokenization, filtering, and stemming.
+
+This package implements the analyzer chain that the web search benchmark's
+index serving node applies to both documents (at index-build time) and
+queries (at search time).  The chain mirrors the default Lucene/Solr
+analyzer used by the CloudSuite Web Search benchmark: a letter tokenizer,
+lowercase filter, stopword filter, and a light suffix-stripping stemmer.
+"""
+
+from repro.text.analyzer import Analyzer, AnalyzerConfig, default_analyzer
+from repro.text.stemmer import SuffixStemmer
+from repro.text.stopwords import DEFAULT_STOPWORDS
+from repro.text.tokenizer import Tokenizer, tokenize
+
+__all__ = [
+    "Analyzer",
+    "AnalyzerConfig",
+    "default_analyzer",
+    "SuffixStemmer",
+    "DEFAULT_STOPWORDS",
+    "Tokenizer",
+    "tokenize",
+]

@@ -1,0 +1,75 @@
+"""The analyzer chain applied to documents and queries.
+
+``Analyzer`` composes the tokenizer, lowercase filter, stopword filter,
+and stemmer into the single normalization pipeline used everywhere in
+the reproduction: the index builder, the query parser, and the corpus
+statistics tools.  Using one shared pipeline guarantees that query terms
+and document terms land in the same index dictionary entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional
+
+from repro.text.stemmer import SuffixStemmer
+from repro.text.stopwords import DEFAULT_STOPWORDS
+from repro.text.tokenizer import Tokenizer
+
+
+@dataclass(frozen=True)
+class AnalyzerConfig:
+    """Configuration of the analyzer chain.
+
+    Attributes
+    ----------
+    lowercase:
+        Whether to lowercase tokens.
+    remove_stopwords:
+        Whether to drop stopwords (after lowercasing).
+    stem:
+        Whether to apply the suffix stemmer.
+    stopwords:
+        The stopword set; ignored when ``remove_stopwords`` is False.
+    max_token_length:
+        Tokens longer than this are dropped by the tokenizer.
+    """
+
+    lowercase: bool = True
+    remove_stopwords: bool = True
+    stem: bool = True
+    stopwords: FrozenSet[str] = DEFAULT_STOPWORDS
+    max_token_length: int = 255
+
+
+@dataclass(frozen=True)
+class Analyzer:
+    """Normalizes raw text into index terms.
+
+    The same ``Analyzer`` instance must be used for indexing and for
+    query parsing; :class:`repro.index.builder.IndexBuilder` stores the
+    analyzer it was built with so searchers can reuse it.
+    """
+
+    config: AnalyzerConfig = field(default_factory=AnalyzerConfig)
+
+    def analyze(self, text: str) -> List[str]:
+        """Return the sequence of index terms for ``text``."""
+        tokenizer = Tokenizer(max_token_length=self.config.max_token_length)
+        stemmer = SuffixStemmer() if self.config.stem else None
+        terms: List[str] = []
+        for token in tokenizer.iter_tokens(text):
+            if self.config.lowercase:
+                token = token.lower()
+            if self.config.remove_stopwords and token in self.config.stopwords:
+                continue
+            if stemmer is not None:
+                token = stemmer.stem(token)
+            if token:
+                terms.append(token)
+        return terms
+
+
+def default_analyzer(config: Optional[AnalyzerConfig] = None) -> Analyzer:
+    """Build the benchmark's default analyzer (Lucene-like chain)."""
+    return Analyzer(config=config or AnalyzerConfig())

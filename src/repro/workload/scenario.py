@@ -1,0 +1,51 @@
+"""A complete workload scenario: arrivals plus service demands."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.workload.arrivals import ArrivalProcess
+from repro.workload.servicetime import ServiceDemandModel
+
+
+@dataclass(frozen=True)
+class WorkloadScenario:
+    """Binds an arrival process to a demand model for one experiment.
+
+    The scenario pre-generates both series from independent RNG streams
+    so that, e.g., sweeping the partition count replays the *identical*
+    arrival sequence and query costs — common random numbers, the
+    variance-reduction discipline all the paper-style sweeps rely on.
+    """
+
+    arrivals: ArrivalProcess
+    demands: ServiceDemandModel
+    num_queries: int
+
+    def __post_init__(self) -> None:
+        if self.num_queries <= 0:
+            raise ValueError("num_queries must be positive")
+
+    def realize(
+        self,
+        arrival_rng: np.random.Generator,
+        demand_rng: np.random.Generator,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Materialize ``(arrival_times, demands)`` for one run."""
+        times = self.arrivals.arrival_times(self.num_queries, arrival_rng)
+        demands = self.demands.demands(self.num_queries, demand_rng)
+        return times, demands
+
+    def offered_load(self) -> Optional[float]:
+        """Offered work in reference-core-seconds per second, if known.
+
+        Returns ``rate × mean_demand`` when the arrival process exposes
+        a ``rate`` attribute (open-loop processes); None otherwise.
+        """
+        rate = getattr(self.arrivals, "rate", None)
+        if rate is None:
+            return None
+        return float(rate) * self.demands.mean_demand()

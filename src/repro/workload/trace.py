@@ -1,0 +1,121 @@
+"""Trace-driven arrivals: replay recorded timestamps.
+
+Production traffic studies replay captured arrival traces rather than
+parametric processes.  ``TraceArrivals`` adapts a timestamp sequence
+(in memory or from a one-timestamp-per-line file) to the
+:class:`~repro.workload.arrivals.ArrivalProcess` interface, with
+optional rate rescaling and looping so one trace can drive experiments
+of any length and intensity.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence, Union
+
+import numpy as np
+
+PathLike = Union[str, Path]
+
+
+class TraceArrivals:
+    """Replays a recorded arrival-time trace.
+
+    Parameters
+    ----------
+    timestamps:
+        Non-decreasing arrival times, seconds from trace start.
+    rate_scale:
+        Compresses (``> 1``) or stretches (``< 1``) the trace in time:
+        a scale of 2 doubles the arrival rate.
+    loop:
+        When the requested query count exceeds the trace length,
+        re-play the trace shifted by its span (True) or raise (False).
+    """
+
+    def __init__(
+        self,
+        timestamps: Sequence[float],
+        rate_scale: float = 1.0,
+        loop: bool = True,
+    ):
+        times = np.asarray(timestamps, dtype=np.float64)
+        if times.size == 0:
+            raise ValueError("trace must contain at least one timestamp")
+        if np.any(np.diff(times) < 0):
+            raise ValueError("trace timestamps must be non-decreasing")
+        if np.any(times < 0):
+            raise ValueError("trace timestamps must be non-negative")
+        if rate_scale <= 0:
+            raise ValueError("rate_scale must be positive")
+        self._times = times / rate_scale
+        self.loop = loop
+
+    @classmethod
+    def from_file(
+        cls, path: PathLike, rate_scale: float = 1.0, loop: bool = True
+    ) -> "TraceArrivals":
+        """Load a one-timestamp-per-line text trace."""
+        timestamps = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                try:
+                    timestamps.append(float(line))
+                except ValueError:
+                    raise ValueError(
+                        f"{path}:{line_number}: not a timestamp: {line!r}"
+                    ) from None
+        return cls(timestamps, rate_scale=rate_scale, loop=loop)
+
+    @property
+    def trace_length(self) -> int:
+        """Number of arrivals in one pass of the trace."""
+        return int(self._times.size)
+
+    @property
+    def mean_rate(self) -> float:
+        """Average arrival rate over the (rescaled) trace."""
+        span = float(self._times[-1] - self._times[0])
+        if span == 0:
+            return float("inf")
+        return (self._times.size - 1) / span
+
+    def arrival_times(
+        self, num_queries: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Return ``num_queries`` arrival times (RNG unused: a replay).
+
+        Looping appends shifted copies of the trace; the shift includes
+        one mean inter-arrival gap so the seam does not create a burst.
+        """
+        if num_queries < 0:
+            raise ValueError("num_queries must be non-negative")
+        if num_queries <= self._times.size:
+            return self._times[:num_queries].copy()
+        if not self.loop:
+            raise ValueError(
+                f"trace has {self._times.size} arrivals; "
+                f"{num_queries} requested and looping is disabled"
+            )
+        gap = (
+            (self._times[-1] - self._times[0]) / max(1, self._times.size - 1)
+        )
+        period = float(self._times[-1]) + float(gap)
+        repeats = -(-num_queries // self._times.size)  # ceil
+        pieces = [
+            self._times + repeat * period for repeat in range(repeats)
+        ]
+        return np.concatenate(pieces)[:num_queries]
+
+
+def save_trace(timestamps: Sequence[float], path: PathLike) -> int:
+    """Write timestamps one per line; returns the count written."""
+    times = np.asarray(timestamps, dtype=np.float64)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("# repro arrival trace, seconds from start\n")
+        for value in times:
+            handle.write(f"{value:.9f}\n")
+    return int(times.size)

@@ -1,0 +1,54 @@
+"""Shared fixtures: a small deterministic corpus, index, and query log.
+
+Session-scoped because index construction is the expensive step; all
+consumers treat these objects as immutable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus.generator import CorpusConfig, CorpusGenerator
+from repro.corpus.querylog import QueryLogConfig, QueryLogGenerator
+from repro.corpus.vocabulary import VocabularyConfig
+from repro.index.builder import IndexBuilder
+
+
+SMALL_CORPUS_CONFIG = CorpusConfig(
+    num_documents=300,
+    vocabulary=VocabularyConfig(size=2_000, exponent=1.0, seed=3),
+    mean_length=60,
+    length_sigma=0.6,
+    topic_terms=5,
+    seed=11,
+)
+
+
+@pytest.fixture(scope="session")
+def corpus_generator():
+    return CorpusGenerator(SMALL_CORPUS_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def small_collection(corpus_generator):
+    return corpus_generator.generate()
+
+
+@pytest.fixture(scope="session")
+def small_index(small_collection):
+    return IndexBuilder().build(small_collection)
+
+
+@pytest.fixture(scope="session")
+def small_query_log(corpus_generator):
+    generator = QueryLogGenerator(
+        corpus_generator.vocabulary,
+        QueryLogConfig(num_unique_queries=100, seed=5),
+    )
+    return generator.generate()
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

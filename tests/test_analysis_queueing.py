@@ -1,0 +1,115 @@
+"""Erlang-C formulas, and validation of the simulator against them.
+
+The M/M/c regime (Poisson arrivals, exponential demands, one partition,
+zero overheads) has exact closed forms; the simulator must match them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.queueing import erlang_c, mmc_metrics
+from repro.cluster.server import PartitionModelConfig
+from repro.cluster.simulation import ClusterConfig, run_open_loop
+from repro.servers.spec import ServerSpec
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.scenario import WorkloadScenario
+from repro.workload.servicetime import ExponentialDemand
+
+MM_C_PARTITIONING = PartitionModelConfig(
+    num_partitions=1,
+    partition_overhead=0.0,
+    merge_base=0.0,
+    merge_per_partition=0.0,
+)
+
+
+class TestErlangC:
+    def test_single_server_equals_utilization(self):
+        # M/M/1: P(wait) = rho.
+        assert erlang_c(0.5, 1.0, 1) == pytest.approx(0.5)
+        assert erlang_c(0.9, 1.0, 1) == pytest.approx(0.9)
+
+    def test_more_servers_less_waiting(self):
+        few = erlang_c(4.0, 1.0, 5)
+        many = erlang_c(4.0, 1.0, 10)
+        assert many < few
+
+    def test_probability_bounds(self):
+        for servers in (1, 2, 8, 32):
+            for utilization in (0.1, 0.5, 0.9):
+                p = erlang_c(utilization * servers, 1.0, servers)
+                assert 0.0 < p < 1.0
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError):
+            erlang_c(2.0, 1.0, 2)
+        with pytest.raises(ValueError):
+            erlang_c(0.0, 1.0, 1)
+        with pytest.raises(ValueError):
+            erlang_c(1.0, 1.0, 0)
+
+    def test_mm1_mean_wait(self):
+        # M/M/1: Wq = rho / (mu - lambda).
+        metrics = mmc_metrics(0.8, 1.0, 1)
+        assert metrics.mean_wait == pytest.approx(0.8 / 0.2)
+        assert metrics.mean_response == pytest.approx(0.8 / 0.2 + 1.0)
+
+    def test_wait_quantile(self):
+        metrics = mmc_metrics(0.5, 1.0, 1)
+        assert metrics.wait_quantile(0.4) == 0.0  # below the zero mass
+        assert metrics.wait_quantile(0.99) > metrics.wait_quantile(0.9) > 0
+        with pytest.raises(ValueError):
+            metrics.wait_quantile(0.0)
+
+
+class TestSimulatorAgainstErlangC:
+    """The DES in the M/M/c regime must reproduce the closed forms."""
+
+    def _simulate(self, arrival_rate, mean_service, cores, num_queries=60_000):
+        spec = ServerSpec(
+            name="mmc", num_cores=cores, core_speed=1.0,
+            idle_power_watts=0.0, peak_power_watts=1.0,
+        )
+        config = ClusterConfig(spec=spec, partitioning=MM_C_PARTITIONING)
+        scenario = WorkloadScenario(
+            arrivals=PoissonArrivals(arrival_rate),
+            demands=ExponentialDemand(mean_service),
+            num_queries=num_queries,
+        )
+        return run_open_loop(config, scenario, seed=7)
+
+    @pytest.mark.parametrize(
+        "cores,utilization",
+        [(1, 0.5), (1, 0.8), (4, 0.7), (8, 0.6)],
+    )
+    def test_mean_response_matches(self, cores, utilization):
+        mean_service = 0.01
+        service_rate = 1.0 / mean_service
+        arrival_rate = utilization * cores * service_rate
+        result = self._simulate(arrival_rate, mean_service, cores)
+        expected = mmc_metrics(arrival_rate, service_rate, cores)
+        measured = float(result.latencies(0.1).mean())
+        assert measured == pytest.approx(expected.mean_response, rel=0.05)
+
+    def test_mean_wait_matches(self):
+        result = self._simulate(700.0, 0.01, 8)  # util 0.875
+        expected = mmc_metrics(700.0, 100.0, 8)
+        waits = np.array(
+            [record.queue_wait for record in result.records]
+        )[6_000:]
+        assert waits.mean() == pytest.approx(expected.mean_wait, rel=0.1)
+
+    def test_wait_quantiles_match(self):
+        result = self._simulate(600.0, 0.01, 8, num_queries=80_000)
+        expected = mmc_metrics(600.0, 100.0, 8)
+        waits = np.sort(
+            np.array([record.queue_wait for record in result.records])[8_000:]
+        )
+        for quantile in (0.8, 0.95, 0.99):
+            measured = float(np.quantile(waits, quantile))
+            analytic = expected.wait_quantile(quantile)
+            assert measured == pytest.approx(analytic, rel=0.15, abs=2e-4)
+
+    def test_utilization_matches(self):
+        result = self._simulate(400.0, 0.01, 8)
+        assert result.utilization() == pytest.approx(0.5, rel=0.05)

@@ -1,0 +1,184 @@
+"""Unit + property tests for the LRU and query result caches."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache.lru import LRUCache
+from repro.cache.querycache import QueryResultCache, make_cache_key
+from repro.search.query import ParsedQuery, QueryMode
+from repro.search.topk import SearchHit
+
+
+class TestLRUCache:
+    def test_put_get(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.stats.hits == 1
+
+    def test_miss_returns_default(self):
+        cache = LRUCache(2)
+        assert cache.get("missing") is None
+        assert cache.get("missing", default=42) == 42
+        assert cache.stats.misses == 2
+
+    def test_eviction_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a"
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        cache.put("c", 3)  # evicts "b", not "a"
+        assert "a" in cache
+        assert "b" not in cache
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # overwrite, no eviction
+        cache.put("c", 3)  # evicts "b"
+        assert cache.get("a") == 10
+        assert "b" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_capacity_never_exceeded(self):
+        cache = LRUCache(3)
+        for key in range(10):
+            cache.put(key, key)
+        assert len(cache) == 3
+
+    def test_contains_does_not_count(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        _ = "a" in cache
+        assert cache.stats.lookups == 0
+
+    def test_hit_rate(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        assert cache.stats.hit_rate == 0.5
+
+    def test_hit_rate_no_lookups(self):
+        assert LRUCache(1).stats.hit_rate == 0.0
+
+    def test_clear_keeps_stats(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1
+
+    def test_cached_none_is_a_hit(self):
+        cache = LRUCache(2)
+        cache.put("a", None)
+        assert cache.get("a") is None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(0)
+
+    def test_keys_in_lru_order(self):
+        cache = LRUCache(3)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        assert cache.keys() == ["b", "a"]
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 100)), max_size=200
+        ),
+        st.integers(min_value=1, max_value=8),
+    )
+    def test_capacity_invariant_and_freshness(self, operations, capacity):
+        cache = LRUCache(capacity)
+        reference = {}
+        for key, value in operations:
+            cache.put(key, value)
+            reference[key] = value
+            assert len(cache) <= capacity
+        # Every retained entry carries its most recent value.
+        for key in cache.keys():
+            assert cache.get(key) == reference[key]
+
+
+class TestQueryResultCache:
+    def _query(self, terms=("web", "search"), k=10, mode=QueryMode.OR):
+        return ParsedQuery(terms=tuple(terms), k=k, mode=mode)
+
+    def test_store_lookup(self):
+        cache = QueryResultCache(4)
+        hits = (SearchHit(score=1.0, doc_id=3),)
+        cache.store(self._query(), hits)
+        assert cache.lookup(self._query()) == hits
+
+    def test_key_includes_k_and_mode(self):
+        cache = QueryResultCache(4)
+        cache.store(self._query(k=10), (SearchHit(score=1.0, doc_id=1),))
+        assert cache.lookup(self._query(k=5)) is None
+        assert cache.lookup(self._query(mode=QueryMode.AND)) is None
+
+    def test_key_function(self):
+        key = make_cache_key(self._query())
+        assert key == (("web", "search"), 10, "or")
+
+    def test_miss(self):
+        assert QueryResultCache(2).lookup(self._query()) is None
+
+    def test_clear(self):
+        cache = QueryResultCache(2)
+        cache.store(self._query(), ())
+        cache.clear()
+        assert cache.lookup(self._query()) is None
+
+    def test_stats_exposed(self):
+        cache = QueryResultCache(2)
+        cache.lookup(self._query())
+        assert cache.stats.misses == 1
+
+
+class TestIsnCacheIntegration:
+    def test_cached_response_matches_uncached(
+        self, small_collection, small_query_log
+    ):
+        from repro.engine.isn import IndexServingNode
+        from repro.index.partitioner import partition_index
+
+        cache = QueryResultCache(64)
+        partitioned = partition_index(small_collection, 2)
+        with IndexServingNode(partitioned, cache=cache) as isn:
+            query = small_query_log[0]
+            first = isn.execute(query.text)
+            assert cache.stats.misses >= 1
+            second = isn.execute(query.text)
+            assert cache.stats.hits >= 1
+            assert second.hits == first.hits
+            # Cache hits skip the fan-out entirely.
+            assert second.timings.shard_seconds == []
+
+    def test_serial_path_bypasses_cache(self, small_collection, small_query_log):
+        from repro.engine.isn import IndexServingNode
+        from repro.index.partitioner import partition_index
+
+        cache = QueryResultCache(64)
+        partitioned = partition_index(small_collection, 2)
+        with IndexServingNode(partitioned, cache=cache) as isn:
+            query = small_query_log[1]
+            isn.execute_serial(query.text)
+            isn.execute_serial(query.text)
+            assert cache.stats.lookups == 0

@@ -1,0 +1,115 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = ["--docs", "300"]
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["characterize"])
+        assert args.docs == 1_500
+        assert args.queries == 150
+
+    def test_partition_list(self):
+        args = build_parser().parse_args(
+            ["partition-sweep", "--partitions", "1", "4", "16"]
+        )
+        assert args.partitions == [1, 4, 16]
+
+
+class TestCommands:
+    def test_quickstart(self, capsys):
+        assert main(FAST + ["quickstart", "--queries", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "indexed 300 documents" in output
+        assert "hits in" in output
+
+    def test_characterize(self, capsys):
+        assert main(FAST + ["characterize", "--queries", "40"]) == 0
+        output = capsys.readouterr().out
+        assert "Service-time characterization" in output
+        assert "p99/p50" in output
+
+    def test_partition_sweep(self, capsys):
+        assert (
+            main(
+                FAST
+                + [
+                    "partition-sweep",
+                    "--partitions", "1", "4",
+                    "--sim-queries", "800",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "Latency vs partitions" in output
+        assert "p99_ms" in output
+
+    def test_lowpower(self, capsys):
+        assert (
+            main(
+                FAST
+                + [
+                    "lowpower",
+                    "--partitions", "1", "8",
+                    "--sim-queries", "800",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "xeon-e5" in output
+        assert "atom-c2750" in output
+
+    def test_capacity(self, capsys):
+        assert (
+            main(
+                FAST
+                + [
+                    "capacity",
+                    "--partitions", "2",
+                    "--sim-queries", "600",
+                    "--qos-ms", "50",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "Max throughput" in output
+
+    def test_cache(self, capsys):
+        assert main(FAST + ["cache"]) == 0
+        output = capsys.readouterr().out
+        assert "hit_rate" in output
+
+    def test_profile_log(self, capsys):
+        assert main(FAST + ["profile-log"]) == 0
+        output = capsys.readouterr().out
+        assert "Query-log profile" in output
+        assert "Term-count mix" in output
+
+    def test_report_to_stdout(self, capsys):
+        assert main(FAST + ["report", "--queries", "30"]) == 0
+        output = capsys.readouterr().out
+        assert "# Web search benchmark characterization report" in output
+
+    def test_report_to_file(self, capsys, tmp_path):
+        path = tmp_path / "report.md"
+        assert (
+            main(FAST + ["report", "--queries", "30", "--output", str(path)])
+            == 0
+        )
+        assert "written to" in capsys.readouterr().out
+        assert path.read_text().startswith("# Web search benchmark")

@@ -1,0 +1,190 @@
+"""Integration tests for open- and closed-loop cluster simulations."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.results import QueryRecord, SimulationResult
+from repro.cluster.server import PartitionModelConfig
+from repro.cluster.simulation import ClusterConfig, run_closed_loop, run_open_loop
+from repro.servers.catalog import BIG_SERVER, SMALL_SERVER
+from repro.sim.network import FixedDelay
+from repro.workload.arrivals import ClosedLoopSpec, PoissonArrivals
+from repro.workload.scenario import WorkloadScenario
+from repro.workload.servicetime import LognormalDemand
+
+DEMAND = LognormalDemand(mu=-4.0, sigma=0.6)  # mean ~ 22 ms
+
+
+def scenario(rate=100.0, num_queries=2_000):
+    return WorkloadScenario(
+        arrivals=PoissonArrivals(rate),
+        demands=DEMAND,
+        num_queries=num_queries,
+    )
+
+
+class TestRunOpenLoop:
+    def test_all_queries_complete(self):
+        result = run_open_loop(ClusterConfig(spec=BIG_SERVER), scenario())
+        assert len(result) == 2_000
+
+    def test_deterministic_given_seed(self):
+        config = ClusterConfig(spec=BIG_SERVER)
+        first = run_open_loop(config, scenario(), seed=3)
+        second = run_open_loop(config, scenario(), seed=3)
+        assert np.array_equal(first.latencies(), second.latencies())
+
+    def test_different_seeds_differ(self):
+        config = ClusterConfig(spec=BIG_SERVER)
+        first = run_open_loop(config, scenario(), seed=1)
+        second = run_open_loop(config, scenario(), seed=2)
+        assert not np.array_equal(first.latencies(), second.latencies())
+
+    def test_latency_exceeds_service_floor(self):
+        result = run_open_loop(ClusterConfig(spec=BIG_SERVER), scenario())
+        for record in result.records[:100]:
+            # Unpartitioned: latency can never beat own demand / core speed.
+            assert record.latency >= record.demand / BIG_SERVER.core_speed - 1e-12
+
+    def test_higher_load_raises_latency(self):
+        config = ClusterConfig(spec=BIG_SERVER)
+        light = run_open_loop(config, scenario(rate=50.0), seed=0)
+        heavy = run_open_loop(config, scenario(rate=300.0), seed=0)
+        assert heavy.summary().p99 > light.summary().p99
+        assert heavy.utilization() > light.utilization()
+
+    def test_network_delay_adds_to_latency(self):
+        base = run_open_loop(ClusterConfig(spec=BIG_SERVER), scenario(), seed=0)
+        delayed = run_open_loop(
+            ClusterConfig(spec=BIG_SERVER, network=FixedDelay(0.005)),
+            scenario(),
+            seed=0,
+        )
+        gap = delayed.summary().mean - base.summary().mean
+        assert gap == pytest.approx(0.010, rel=0.05)  # two hops
+
+    def test_slow_server_slower(self):
+        fast = run_open_loop(ClusterConfig(spec=BIG_SERVER), scenario(rate=20.0))
+        slow = run_open_loop(ClusterConfig(spec=SMALL_SERVER), scenario(rate=20.0))
+        assert slow.summary().p50 > fast.summary().p50
+
+    def test_utilization_matches_offered_load(self):
+        rate = 100.0
+        result = run_open_loop(
+            ClusterConfig(spec=BIG_SERVER), scenario(rate=rate, num_queries=5_000)
+        )
+        offered = rate * DEMAND.mean_demand() / BIG_SERVER.compute_capacity
+        assert result.utilization() == pytest.approx(offered, rel=0.15)
+
+    def test_records_sorted_by_send_time(self):
+        result = run_open_loop(ClusterConfig(spec=BIG_SERVER), scenario())
+        sends = [record.client_send for record in result.records]
+        assert sends == sorted(sends)
+
+    def test_partitioned_config_runs(self):
+        config = ClusterConfig(
+            spec=BIG_SERVER,
+            partitioning=PartitionModelConfig(num_partitions=4),
+        )
+        result = run_open_loop(config, scenario())
+        assert len(result) == 2_000
+        assert "P=4" in result.label
+
+
+class TestRunClosedLoop:
+    def test_completes_exact_query_budget(self):
+        result = run_closed_loop(
+            ClusterConfig(spec=BIG_SERVER),
+            ClosedLoopSpec(num_clients=8, mean_think_time=0.05),
+            DEMAND,
+            num_queries=1_000,
+        )
+        assert len(result) == 1_000
+
+    def test_deterministic(self):
+        config = ClusterConfig(spec=BIG_SERVER)
+        spec = ClosedLoopSpec(num_clients=4, mean_think_time=0.1)
+        first = run_closed_loop(config, spec, DEMAND, 500, seed=5)
+        second = run_closed_loop(config, spec, DEMAND, 500, seed=5)
+        assert np.array_equal(first.latencies(), second.latencies())
+
+    def test_throughput_self_limits(self):
+        """Closed-loop throughput saturates near num_clients/(think+latency)."""
+        config = ClusterConfig(spec=BIG_SERVER)
+        spec = ClosedLoopSpec(num_clients=4, mean_think_time=0.1)
+        result = run_closed_loop(config, spec, DEMAND, 2_000)
+        upper_bound = spec.num_clients / spec.mean_think_time
+        assert result.achieved_qps() < upper_bound
+
+    def test_more_clients_more_throughput_until_saturation(self):
+        config = ClusterConfig(spec=BIG_SERVER)
+        few = run_closed_loop(
+            config, ClosedLoopSpec(num_clients=2, mean_think_time=0.1),
+            DEMAND, 1_000,
+        )
+        many = run_closed_loop(
+            config, ClosedLoopSpec(num_clients=16, mean_think_time=0.1),
+            DEMAND, 1_000,
+        )
+        assert many.achieved_qps() > few.achieved_qps()
+
+    def test_zero_think_time(self):
+        result = run_closed_loop(
+            ClusterConfig(spec=BIG_SERVER),
+            ClosedLoopSpec(num_clients=2, mean_think_time=0.0),
+            DEMAND,
+            num_queries=200,
+        )
+        assert len(result) == 200
+
+    def test_invalid_num_queries(self):
+        with pytest.raises(ValueError):
+            run_closed_loop(
+                ClusterConfig(spec=BIG_SERVER),
+                ClosedLoopSpec(num_clients=1),
+                DEMAND,
+                num_queries=0,
+            )
+
+
+class TestSimulationResult:
+    def _make_result(self):
+        return run_open_loop(ClusterConfig(spec=BIG_SERVER), scenario())
+
+    def test_summary_and_warmup(self):
+        result = self._make_result()
+        full = result.summary()
+        trimmed = result.summary(warmup_fraction=0.2)
+        assert trimmed.count == int(len(result) * 0.8)
+        assert full.count == len(result)
+
+    def test_invalid_warmup(self):
+        result = self._make_result()
+        with pytest.raises(ValueError):
+            result.latencies(warmup_fraction=1.0)
+
+    def test_breakdown_sums_to_mean_latency(self):
+        result = self._make_result()
+        breakdown = result.breakdown_means()
+        assert sum(breakdown.values()) == pytest.approx(
+            result.summary().mean, rel=1e-9
+        )
+
+    def test_breakdown_at_percentile(self):
+        result = self._make_result()
+        tail = result.breakdown_at_percentile(99.0)
+        assert sum(tail.values()) == pytest.approx(
+            float(np.percentile(result.latencies(), 99.0, method="nearest")),
+            rel=0.02,
+        )
+
+    def test_incomplete_record_rejected(self):
+        record = QueryRecord(query_id=0, client_send=0.0, demand=0.1)
+        with pytest.raises(ValueError, match="never completed"):
+            SimulationResult(
+                records=[record], horizon=1.0, core_busy_time=0.0, num_cores=1
+            )
+
+    def test_achieved_qps(self):
+        result = self._make_result()
+        assert result.achieved_qps() > 0

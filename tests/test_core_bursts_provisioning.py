@@ -1,0 +1,173 @@
+"""Tests for the burst study and the provisioning table."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.server import PartitionModelConfig
+from repro.core.bursts import burst_study, make_mmpp
+from repro.core.provisioning import provisioning_study
+from repro.servers.catalog import BIG_SERVER, SMALL_SERVER
+from repro.workload.servicetime import LognormalDemand
+
+DEMAND = LognormalDemand(mu=-4.0, sigma=0.6)
+COST_MODEL = PartitionModelConfig(
+    partition_overhead=0.0003, merge_base=0.0002, merge_per_partition=0.0001
+)
+
+
+class TestMakeMmpp:
+    def test_average_rate_matches(self, rng):
+        process = make_mmpp(average_rate=100.0, burst_factor=4.0)
+        times = process.arrival_times(40_000, rng)
+        measured = len(times) / times[-1]
+        assert measured == pytest.approx(100.0, rel=0.1)
+
+    def test_burst_rate_relationship(self):
+        process = make_mmpp(average_rate=100.0, burst_factor=5.0)
+        assert process.burst_rate == pytest.approx(5.0 * process.base_rate)
+        assert process.base_rate < 100.0 < process.burst_rate
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            make_mmpp(average_rate=0.0)
+        with pytest.raises(ValueError):
+            make_mmpp(average_rate=10.0, burst_factor=1.0)
+        with pytest.raises(ValueError):
+            make_mmpp(average_rate=10.0, burst_time_share=1.0)
+
+
+class TestBurstStudy:
+    @pytest.fixture(scope="class")
+    def points(self):
+        # Peak-heavy regime: average ~45% of capacity but the burst
+        # state runs near saturation (3x base).
+        return burst_study(
+            BIG_SERVER,
+            DEMAND,
+            partition_counts=[1, 8],
+            average_rate=150.0,
+            burst_factor=3.0,
+            cost_model=COST_MODEL,
+            num_queries=5_000,
+        )
+
+    def select(self, points, kind, num_partitions):
+        return next(
+            p.summary
+            for p in points
+            if p.arrival_kind == kind and p.num_partitions == num_partitions
+        )
+
+    def test_structure(self, points):
+        assert len(points) == 4
+        kinds = {p.arrival_kind for p in points}
+        assert kinds == {"poisson", "mmpp"}
+
+    def test_bursts_inflate_tail_at_equal_average_load(self, points):
+        assert (
+            self.select(points, "mmpp", 1).p99
+            > 1.2 * self.select(points, "poisson", 1).p99
+        )
+
+    def test_partitioning_helps_poisson_at_this_load(self, points):
+        assert (
+            self.select(points, "poisson", 8).p99
+            < self.select(points, "poisson", 1).p99
+        )
+
+    def test_peak_heavy_bursts_reverse_the_partitioning_win(self, points):
+        """During near-saturation bursts the tail is queue-dominated,
+        so partitioning's work inflation makes it worse: the partition
+        count must be chosen for the peak, not the average."""
+        assert (
+            self.select(points, "mmpp", 8).p99
+            > self.select(points, "mmpp", 1).p99
+        )
+
+    def test_burst_gap_persists_after_partitioning(self, points):
+        assert (
+            self.select(points, "mmpp", 8).p99
+            > self.select(points, "poisson", 8).p99
+        )
+
+    def test_similar_utilization(self, points):
+        utils = [p.utilization for p in points if p.num_partitions == 1]
+        assert max(utils) < 1.3 * min(utils)
+
+    def test_moderate_bursts_partitioning_still_helps(self):
+        points = burst_study(
+            BIG_SERVER,
+            DEMAND,
+            partition_counts=[1, 8],
+            average_rate=100.0,
+            burst_factor=2.0,
+            cost_model=COST_MODEL,
+            num_queries=4_000,
+        )
+        mmpp_p1 = self.select(points, "mmpp", 1)
+        mmpp_p8 = self.select(points, "mmpp", 8)
+        assert mmpp_p8.p99 < mmpp_p1.p99
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            burst_study(BIG_SERVER, DEMAND, [], average_rate=10.0)
+        with pytest.raises(ValueError):
+            burst_study(BIG_SERVER, DEMAND, [1], average_rate=0.0)
+
+
+class TestProvisioningStudy:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return provisioning_study(
+            [BIG_SERVER, SMALL_SERVER],
+            DEMAND,
+            target_qps=2_000.0,
+            qos_p99_seconds=0.2,
+            partition_counts=(2, 8),
+            cost_model=COST_MODEL,
+            num_queries=1_500,
+        )
+
+    def test_both_classes_deployable(self, rows):
+        assert all(row.meets_qos for row in rows)
+
+    def test_small_class_needs_more_nodes(self, rows):
+        by_name = {row.server_name: row for row in rows}
+        assert (
+            by_name[SMALL_SERVER.name].nodes_needed
+            > by_name[BIG_SERVER.name].nodes_needed
+        )
+
+    def test_nodes_cover_target(self, rows):
+        for row in rows:
+            assert row.nodes_needed * row.per_node_qps >= 2_000.0
+
+    def test_power_accounting(self, rows):
+        for row in rows:
+            assert row.total_power_watts > 0
+            assert row.watts_per_kqps == pytest.approx(
+                row.total_power_watts / 2.0
+            )
+            assert 0.0 < row.node_utilization <= 1.0
+
+    def test_impossible_qos_flagged(self):
+        rows = provisioning_study(
+            [BIG_SERVER],
+            DEMAND,
+            target_qps=100.0,
+            qos_p99_seconds=1e-6,
+            partition_counts=(1,),
+            num_queries=800,
+        )
+        assert not rows[0].meets_qos
+        assert rows[0].nodes_needed == 0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            provisioning_study(
+                [BIG_SERVER], DEMAND, target_qps=0.0, qos_p99_seconds=0.1
+            )
+        with pytest.raises(ValueError):
+            provisioning_study(
+                [], DEMAND, target_qps=10.0, qos_p99_seconds=0.1
+            )

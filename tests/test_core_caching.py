@@ -1,0 +1,124 @@
+"""Tests for the caching study and the cached demand model."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.simulation import ClusterConfig
+from repro.core.caching import caching_latency_study, hit_rate_vs_capacity
+from repro.servers.catalog import BIG_SERVER
+from repro.workload.cached import CachedDemand
+from repro.workload.servicetime import IndexDerivedDemand
+
+
+@pytest.fixture(scope="module")
+def base_demand(small_index, small_query_log):
+    return IndexDerivedDemand(
+        index=small_index,
+        query_log=small_query_log,
+        base_seconds=0.002,
+        per_posting_seconds=2e-5,
+    )
+
+
+class TestHitRateVsCapacity:
+    def test_monotone_in_capacity(self, small_query_log):
+        rates = hit_rate_vs_capacity(
+            small_query_log, capacities=[1, 10, 50], num_queries=8_000
+        )
+        assert rates[0] < rates[1] < rates[2]
+
+    def test_full_log_capacity_hits_everything(self, small_query_log):
+        rates = hit_rate_vs_capacity(
+            small_query_log,
+            capacities=[len(small_query_log)],
+            num_queries=8_000,
+        )
+        # After warm-up every unique query is resident.
+        assert rates[0] > 0.95
+
+    def test_zipf_head_gives_outsize_hit_rate(self, small_query_log):
+        # A cache of 10% of the unique queries captures far more than
+        # 10% of the traffic under Zipf popularity.
+        capacity = max(1, len(small_query_log) // 10)
+        rates = hit_rate_vs_capacity(
+            small_query_log, capacities=[capacity], num_queries=8_000
+        )
+        assert rates[0] > 0.2
+
+    def test_invalid_inputs(self, small_query_log):
+        with pytest.raises(ValueError):
+            hit_rate_vs_capacity(small_query_log, capacities=[])
+        with pytest.raises(ValueError):
+            hit_rate_vs_capacity(small_query_log, capacities=[0])
+
+
+class TestCachedDemand:
+    def test_hits_cost_less(self, base_demand, rng):
+        cached = CachedDemand(
+            base=base_demand, cache_capacity=50, hit_cost_seconds=1e-5
+        )
+        demands = cached.demands(2_000, rng)
+        hits = demands == 1e-5
+        assert hits.any(), "expected some cache hits"
+        assert (~hits).any(), "expected some cache misses"
+
+    def test_mean_demand_below_uncached(self, base_demand):
+        cached = CachedDemand(base=base_demand, cache_capacity=50)
+        assert cached.mean_demand() < base_demand.mean_demand()
+
+    def test_bigger_cache_lower_mean(self, base_demand):
+        small = CachedDemand(base=base_demand, cache_capacity=5)
+        large = CachedDemand(base=base_demand, cache_capacity=80)
+        assert large.mean_demand() < small.mean_demand()
+
+    def test_measured_hit_rate_in_unit_interval(self, base_demand):
+        cached = CachedDemand(base=base_demand, cache_capacity=30)
+        rate = cached.measured_hit_rate(num_queries=5_000)
+        assert 0.0 < rate < 1.0
+
+    def test_invalid_params(self, base_demand):
+        with pytest.raises(ValueError):
+            CachedDemand(base=base_demand, cache_capacity=0)
+        with pytest.raises(ValueError):
+            CachedDemand(
+                base=base_demand, cache_capacity=1, hit_cost_seconds=-1.0
+            )
+
+
+class TestCachingLatencyStudy:
+    def test_cache_cuts_mean_latency(self, base_demand):
+        points = caching_latency_study(
+            ClusterConfig(spec=BIG_SERVER),
+            base_demand,
+            cache_capacities=[0, 50],
+            rate_qps=100.0,
+            num_queries=3_000,
+        )
+        uncached, cached = points
+        assert cached.hit_rate > 0
+        assert cached.summary.mean < uncached.summary.mean
+        assert cached.utilization < uncached.utilization
+
+    def test_tail_shrinks_less_than_mean(self, base_demand):
+        """The asymmetry the study demonstrates: hits thin the body,
+        but the p99 is made of misses and moves much less."""
+        points = caching_latency_study(
+            ClusterConfig(spec=BIG_SERVER),
+            base_demand,
+            cache_capacities=[0, 50],
+            rate_qps=100.0,
+            num_queries=3_000,
+        )
+        uncached, cached = points
+        mean_reduction = uncached.summary.mean / cached.summary.mean
+        p99_reduction = uncached.summary.p99 / cached.summary.p99
+        assert mean_reduction > p99_reduction
+
+    def test_invalid_rate(self, base_demand):
+        with pytest.raises(ValueError):
+            caching_latency_study(
+                ClusterConfig(spec=BIG_SERVER),
+                base_demand,
+                cache_capacities=[0],
+                rate_qps=0.0,
+            )

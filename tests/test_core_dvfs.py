@@ -1,0 +1,59 @@
+"""Tests for the DVFS study."""
+
+import pytest
+
+from repro.cluster.server import PartitionModelConfig
+from repro.core.dvfs import dvfs_study
+from repro.servers.catalog import BIG_SERVER
+from repro.workload.servicetime import LognormalDemand
+
+DEMAND = LognormalDemand(mu=-4.0, sigma=0.6)
+COST_MODEL = PartitionModelConfig(
+    partition_overhead=0.0003, merge_base=0.0002, merge_per_partition=0.0001
+)
+
+
+class TestDvfsStudy:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return dvfs_study(
+            BIG_SERVER,
+            DEMAND,
+            frequency_factors=[1.0, 0.7, 0.5],
+            rate_qps=40.0,
+            cost_model=COST_MODEL,
+            compensation_partitions=(1, 2, 4, 8),
+            num_queries=2_500,
+        )
+
+    def test_downclocking_raises_latency(self, points):
+        p99s = {p.frequency_factor: p.summary.p99 for p in points}
+        assert p99s[0.7] > p99s[1.0]
+        assert p99s[0.5] > p99s[0.7]
+
+    def test_downclocking_saves_power(self, points):
+        powers = {p.frequency_factor: p.power_watts for p in points}
+        assert powers[0.5] < powers[0.7] < powers[1.0]
+
+    def test_full_frequency_needs_no_compensation(self, points):
+        full = next(p for p in points if p.frequency_factor == 1.0)
+        assert full.compensating_partitions == 1
+
+    def test_partitioning_compensates_downclocking(self, points):
+        slow = next(p for p in points if p.frequency_factor == 0.5)
+        assert slow.compensating_partitions is not None
+        assert slow.compensating_partitions > 1
+
+    def test_energy_per_query_decreases(self, points):
+        energies = {
+            p.frequency_factor: p.energy_per_query_joules for p in points
+        }
+        assert energies[0.5] < energies[1.0]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            dvfs_study(BIG_SERVER, DEMAND, [], rate_qps=10.0)
+        with pytest.raises(ValueError):
+            dvfs_study(BIG_SERVER, DEMAND, [0.0], rate_qps=10.0)
+        with pytest.raises(ValueError):
+            dvfs_study(BIG_SERVER, DEMAND, [1.0], rate_qps=0.0)

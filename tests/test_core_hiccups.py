@@ -1,0 +1,74 @@
+"""Tests for the GC-pause study."""
+
+import pytest
+
+from repro.cluster.server import PartitionModelConfig
+from repro.core.hiccups import hiccup_study
+from repro.servers.catalog import BIG_SERVER
+from repro.sim.hiccups import HiccupConfig
+from repro.workload.servicetime import LognormalDemand
+
+DEMAND = LognormalDemand(mu=-4.0, sigma=0.6)
+PAUSES = HiccupConfig(mean_interval=0.25, pause_duration=0.03)
+COST_MODEL = PartitionModelConfig(
+    partition_overhead=0.0003, merge_base=0.0002, merge_per_partition=0.0001
+)
+
+
+@pytest.fixture(scope="module")
+def points():
+    return hiccup_study(
+        BIG_SERVER,
+        DEMAND,
+        partition_counts=[1, 8],
+        rate_qps=100.0,
+        hiccups=PAUSES,
+        cost_model=COST_MODEL,
+        num_queries=4_000,
+    )
+
+
+def select(points, num_partitions, enabled):
+    return next(
+        p.summary
+        for p in points
+        if p.num_partitions == num_partitions
+        and p.hiccups_enabled == enabled
+    )
+
+
+class TestHiccupStudy:
+    def test_point_count(self, points):
+        assert len(points) == 4
+
+    def test_pauses_inflate_the_tail(self, points):
+        clean = select(points, 1, False)
+        paused = select(points, 1, True)
+        assert paused.p99 > clean.p99 + 0.5 * PAUSES.pause_duration
+
+    def test_partitioning_helps_clean_tail(self, points):
+        assert select(points, 8, False).p99 < select(points, 1, False).p99
+
+    def test_pause_floor_survives_partitioning(self, points):
+        """Partitioning cannot remove the pause-driven tail: with
+        pauses on, p99 at P=8 stays at least a pause above the clean
+        P=8 tail."""
+        clean_p8 = select(points, 8, False)
+        paused_p8 = select(points, 8, True)
+        assert paused_p8.p99 > clean_p8.p99 + 0.5 * PAUSES.pause_duration
+
+    def test_pause_tail_reduction_smaller_than_clean(self, points):
+        """The relative tail win of partitioning shrinks under pauses."""
+        clean_gain = select(points, 1, False).p99 / select(points, 8, False).p99
+        paused_gain = select(points, 1, True).p99 / select(points, 8, True).p99
+        assert paused_gain < clean_gain
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            hiccup_study(
+                BIG_SERVER, DEMAND, [], rate_qps=10.0, hiccups=PAUSES
+            )
+        with pytest.raises(ValueError):
+            hiccup_study(
+                BIG_SERVER, DEMAND, [1], rate_qps=0.0, hiccups=PAUSES
+            )

@@ -1,0 +1,68 @@
+"""Tests for the one-call characterization report."""
+
+import pytest
+
+from repro.core.report import ReportOptions, characterization_report
+from repro.corpus.generator import CorpusConfig
+from repro.corpus.querylog import QueryLogConfig
+from repro.corpus.vocabulary import VocabularyConfig
+from repro.engine.service import SearchService, SearchServiceConfig
+
+
+@pytest.fixture(scope="module")
+def report_service():
+    config = SearchServiceConfig(
+        corpus=CorpusConfig(
+            num_documents=250,
+            vocabulary=VocabularyConfig(size=2_000, seed=3),
+            mean_length=60,
+            seed=11,
+        ),
+        query_log=QueryLogConfig(num_unique_queries=80, seed=5),
+        num_partitions=1,
+    )
+    with SearchService(config) as service:
+        yield service
+
+
+@pytest.fixture(scope="module")
+def report(report_service):
+    return characterization_report(
+        report_service, ReportOptions(num_queries=80, repeats=1)
+    )
+
+
+class TestCharacterizationReport:
+    def test_all_sections_present(self, report):
+        for heading in (
+            "# Web search benchmark characterization report",
+            "## Index statistics",
+            "## Workload profile",
+            "## Service-time distribution",
+            "## What drives service time",
+            "## Simulator calibration",
+        ):
+            assert heading in report
+
+    def test_key_figures_rendered(self, report):
+        assert "250 documents" in report
+        assert "tail ratio" in report
+        assert "Affine work model" in report
+        assert "R²" in report
+
+    def test_writes_file(self, report_service, tmp_path):
+        path = tmp_path / "report.md"
+        text = characterization_report(
+            report_service,
+            ReportOptions(num_queries=40, repeats=1),
+            path=path,
+        )
+        assert path.read_text(encoding="utf-8") == text
+
+    def test_invalid_options(self):
+        with pytest.raises(ValueError):
+            ReportOptions(num_queries=0)
+        with pytest.raises(ValueError):
+            ReportOptions(repeats=0)
+        with pytest.raises(ValueError):
+            ReportOptions(profile_stream_length=0)

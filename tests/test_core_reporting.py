@@ -1,0 +1,62 @@
+"""Tests for the table/series text renderers."""
+
+import pytest
+
+from repro.core.reporting import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(
+            ["name", "value"], [["alpha", 1], ["beta", 22]], title="Demo"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "name" in lines[2]
+        assert "alpha" in text
+        assert "22" in text
+
+    def test_column_alignment(self):
+        text = format_table(["a", "b"], [["x", 1], ["longer", 2]])
+        rows = text.splitlines()[-2:]
+        # Both rows render to the same width.
+        assert len(rows[0]) <= len(rows[1]) + len("longer")
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.000123456]])
+        assert "e-04" in text or "0.0001235" in text
+
+    def test_zero_and_large(self):
+        text = format_table(["v"], [[0.0], [123456.789]])
+        assert "0" in text
+        assert "e+05" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_no_title(self):
+        text = format_table(["h"], [["x"]])
+        assert not text.startswith("=")
+
+
+class TestFormatSeries:
+    def test_series_rendering(self):
+        text = format_series(
+            "Figure 4",
+            "partitions",
+            [1, 2, 4],
+            [("p50", [10.0, 6.0, 4.0]), ("p99", [50.0, 20.0, 12.0])],
+        )
+        assert "Figure 4" in text
+        assert "partitions" in text
+        assert "p99" in text
+        assert text.count("\n") >= 5
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_series("t", "x", [1, 2], [("y", [1.0])])

@@ -1,0 +1,130 @@
+"""Tests for topic drift and the partition-strategy balance study."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.generator import CorpusConfig, CorpusGenerator
+from repro.corpus.querylog import QueryLogConfig, QueryLogGenerator
+from repro.corpus.vocabulary import VocabularyConfig
+from repro.core.strategies import partition_balance_study
+from repro.index.partitioner import PartitionStrategy
+
+VOCAB = VocabularyConfig(size=3_000, seed=6)
+
+
+@pytest.fixture(scope="module")
+def drifted():
+    """A corpus with strong crawl-order topical locality + its log."""
+    generator = CorpusGenerator(
+        CorpusConfig(
+            num_documents=400,
+            vocabulary=VOCAB,
+            mean_length=80,
+            topic_fraction=0.7,
+            topic_drift=5.0,
+            seed=31,
+        )
+    )
+    collection = generator.generate()
+    log = QueryLogGenerator(
+        generator.vocabulary, QueryLogConfig(num_unique_queries=120, seed=4)
+    ).generate()
+    return collection, log
+
+
+class TestTopicDrift:
+    def test_drift_changes_documents(self):
+        base = CorpusConfig(
+            num_documents=50, vocabulary=VOCAB, mean_length=60, seed=9
+        )
+        from dataclasses import replace
+
+        no_drift = CorpusGenerator(base).generate()
+        with_drift = CorpusGenerator(
+            replace(base, topic_drift=10.0)
+        ).generate()
+        assert no_drift[40].body != with_drift[40].body
+
+    def test_drift_zero_is_default_behaviour(self):
+        config = CorpusConfig(
+            num_documents=20, vocabulary=VOCAB, mean_length=40, seed=9
+        )
+        from dataclasses import replace
+
+        assert (
+            CorpusGenerator(config).generate()[10].body
+            == CorpusGenerator(replace(config, topic_drift=0.0))
+            .generate()[10]
+            .body
+        )
+
+    def test_negative_drift_rejected(self):
+        with pytest.raises(ValueError):
+            CorpusConfig(topic_drift=-1.0)
+
+    def test_drift_creates_locality(self, drifted):
+        """Neighbouring documents share more vocabulary than distant
+        ones when drift is on."""
+        collection, _ = drifted
+        from repro.text.analyzer import default_analyzer
+
+        analyzer = default_analyzer()
+
+        def terms(doc_id):
+            return set(analyzer.analyze(collection[doc_id].text))
+
+        near_overlap = np.mean(
+            [
+                len(terms(i) & terms(i + 1)) / max(1, len(terms(i)))
+                for i in range(0, 60, 10)
+            ]
+        )
+        far_overlap = np.mean(
+            [
+                len(terms(i) & terms(i + 300)) / max(1, len(terms(i)))
+                for i in range(0, 60, 10)
+            ]
+        )
+        assert near_overlap > far_overlap
+
+
+class TestPartitionBalanceStudy:
+    def test_contiguous_skewed_under_drift(self, drifted):
+        collection, log = drifted
+        rows = partition_balance_study(
+            collection, log, num_partitions=4, num_queries=80
+        )
+        by_strategy = {row.strategy: row for row in rows}
+        contiguous = by_strategy[PartitionStrategy.CONTIGUOUS]
+        round_robin = by_strategy[PartitionStrategy.ROUND_ROBIN]
+        assert contiguous.imbalance > 1.3 * round_robin.imbalance
+
+    def test_round_robin_near_even(self, drifted):
+        collection, log = drifted
+        rows = partition_balance_study(
+            collection, log, num_partitions=4, num_queries=80,
+            strategies=[PartitionStrategy.ROUND_ROBIN],
+        )
+        assert rows[0].imbalance < 2.0
+        assert rows[0].shard_document_spread <= 1
+
+    def test_imbalance_bounds(self, drifted):
+        collection, log = drifted
+        rows = partition_balance_study(
+            collection, log, num_partitions=4, num_queries=60
+        )
+        for row in rows:
+            assert 1.0 <= row.imbalance <= row.worst_query_imbalance <= 4.0
+
+    def test_invalid_args(self, drifted):
+        collection, log = drifted
+        with pytest.raises(ValueError):
+            partition_balance_study(collection, log, num_partitions=1)
+        with pytest.raises(ValueError):
+            partition_balance_study(
+                collection, log, num_partitions=4, strategies=[]
+            )
+        with pytest.raises(ValueError):
+            partition_balance_study(
+                collection, log, num_partitions=4, num_queries=0
+            )

@@ -1,0 +1,276 @@
+"""Tests for the simulated studies: load sweep, partitioning, capacity,
+low-power comparison, and component breakdown."""
+
+import pytest
+
+from repro.cluster.server import PartitionModelConfig
+from repro.cluster.simulation import ClusterConfig
+from repro.core.breakdown import breakdown_vs_partitions
+from repro.core.capacity import capacity_vs_partitions, find_max_qps
+from repro.core.loadsweep import run_load_sweep
+from repro.core.lowpower import compare_servers_vs_partitions, matched_qos_energy
+from repro.core.partitioning import imbalance_sensitivity, run_partitioning_sweep
+from repro.servers.catalog import BIG_SERVER, SMALL_SERVER
+from repro.workload.servicetime import LognormalDemand
+
+# Heavy-tailed demand: mean ~22 ms, p99 ~4x the mean — the shape the
+# native characterization measures.
+DEMAND = LognormalDemand(mu=-4.0, sigma=0.6)
+COST_MODEL = PartitionModelConfig(
+    partition_overhead=0.0005, merge_base=0.0003, merge_per_partition=0.0001
+)
+
+
+class TestLoadSweep:
+    def test_latency_rises_past_the_knee(self):
+        # Below the knee the curve is flat (8 cores absorb the load);
+        # past it queueing dominates and the p99 climbs steeply.
+        points = run_load_sweep(
+            ClusterConfig(spec=BIG_SERVER),
+            DEMAND,
+            rates=[60.0, 280.0, 340.0],
+            num_queries=3_000,
+        )
+        p99s = [point.summary.p99 for point in points]
+        assert p99s[0] <= p99s[1] < p99s[2]
+        assert p99s[2] > 1.3 * p99s[0]
+
+    def test_hockey_stick_tail_divergence(self):
+        """Near saturation the p99 inflates far more than the mean."""
+        points = run_load_sweep(
+            ClusterConfig(spec=BIG_SERVER),
+            DEMAND,
+            rates=[40.0, 330.0],
+            num_queries=4_000,
+        )
+        light, heavy = points
+        p99_inflation = heavy.summary.p99 / light.summary.p99
+        mean_inflation = heavy.summary.mean / light.summary.mean
+        assert p99_inflation > 1.5
+        assert heavy.utilization > light.utilization
+
+    def test_utilization_tracks_rate(self):
+        points = run_load_sweep(
+            ClusterConfig(spec=BIG_SERVER),
+            DEMAND,
+            rates=[50.0, 100.0],
+            num_queries=3_000,
+        )
+        assert points[1].utilization == pytest.approx(
+            2 * points[0].utilization, rel=0.1
+        )
+
+    def test_invalid_rates(self):
+        with pytest.raises(ValueError):
+            run_load_sweep(ClusterConfig(spec=BIG_SERVER), DEMAND, rates=[])
+        with pytest.raises(ValueError):
+            run_load_sweep(ClusterConfig(spec=BIG_SERVER), DEMAND, rates=[-1.0])
+
+
+class TestPartitioningSweep:
+    def test_partitioning_reduces_tail_latency(self):
+        """The paper's headline: p99 falls from P=1 to P=4-8."""
+        points = run_partitioning_sweep(
+            BIG_SERVER,
+            DEMAND,
+            partition_counts=[1, 4, 8],
+            rate_qps=120.0,
+            cost_model=COST_MODEL,
+            num_queries=4_000,
+        )
+        by_partitions = {point.num_partitions: point for point in points}
+        assert by_partitions[4].summary.p99 < by_partitions[1].summary.p99
+        assert by_partitions[8].summary.p99 < by_partitions[1].summary.p99
+
+    def test_partitioning_narrows_absolute_tail_width(self):
+        # p99 − p50 (the absolute spread users feel) shrinks with P.
+        points = run_partitioning_sweep(
+            BIG_SERVER,
+            DEMAND,
+            partition_counts=[1, 8],
+            rate_qps=120.0,
+            cost_model=COST_MODEL,
+            num_queries=4_000,
+        )
+        width_p1 = points[0].summary.p99 - points[0].summary.p50
+        width_p8 = points[1].summary.p99 - points[1].summary.p50
+        assert width_p8 < 0.5 * width_p1
+
+    def test_overhead_inflates_utilization(self):
+        """More partitions -> more total work at the same offered QPS."""
+        points = run_partitioning_sweep(
+            BIG_SERVER,
+            DEMAND,
+            partition_counts=[1, 16],
+            rate_qps=120.0,
+            cost_model=COST_MODEL,
+            num_queries=3_000,
+        )
+        assert points[1].utilization > points[0].utilization
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            run_partitioning_sweep(BIG_SERVER, DEMAND, [], rate_qps=10.0)
+        with pytest.raises(ValueError):
+            run_partitioning_sweep(BIG_SERVER, DEMAND, [1], rate_qps=0.0)
+
+
+class TestImbalanceSensitivity:
+    def test_skew_grows_as_concentration_falls(self):
+        points = imbalance_sensitivity(
+            BIG_SERVER,
+            DEMAND,
+            concentrations=[1e6, 3.0],
+            rate_qps=100.0,
+            num_partitions=8,
+            cost_model=COST_MODEL,
+            num_queries=3_000,
+        )
+        even, skewed = points
+        assert skewed.mean_straggler_skew > 5 * even.mean_straggler_skew
+        assert skewed.summary.p99 > even.summary.p99
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            imbalance_sensitivity(BIG_SERVER, DEMAND, [], rate_qps=10.0)
+        with pytest.raises(ValueError):
+            imbalance_sensitivity(BIG_SERVER, DEMAND, [0.0], rate_qps=10.0)
+        with pytest.raises(ValueError):
+            imbalance_sensitivity(BIG_SERVER, DEMAND, [1.0], rate_qps=0.0)
+
+
+class TestCapacity:
+    def test_find_max_qps_respects_qos(self):
+        point = find_max_qps(
+            ClusterConfig(spec=BIG_SERVER, partitioning=COST_MODEL),
+            DEMAND,
+            qos_p99_seconds=0.15,
+            num_queries=2_500,
+            tolerance_qps=10.0,
+        )
+        assert point.max_qps > 0
+        assert point.p99_at_max <= 0.15
+
+    def test_impossible_qos_gives_zero(self):
+        point = find_max_qps(
+            ClusterConfig(spec=BIG_SERVER, partitioning=COST_MODEL),
+            DEMAND,
+            qos_p99_seconds=1e-6,
+            num_queries=1_000,
+            tolerance_qps=10.0,
+        )
+        assert point.max_qps == 0.0
+
+    def test_looser_qos_more_throughput(self):
+        config = ClusterConfig(spec=BIG_SERVER, partitioning=COST_MODEL)
+        tight = find_max_qps(
+            config, DEMAND, qos_p99_seconds=0.08,
+            num_queries=2_000, tolerance_qps=10.0,
+        )
+        loose = find_max_qps(
+            config, DEMAND, qos_p99_seconds=0.4,
+            num_queries=2_000, tolerance_qps=10.0,
+        )
+        assert loose.max_qps > tight.max_qps
+
+    def test_capacity_vs_partitions_runs(self):
+        points = capacity_vs_partitions(
+            BIG_SERVER,
+            DEMAND,
+            partition_counts=[1, 4],
+            qos_p99_seconds=0.1,
+            cost_model=COST_MODEL,
+            num_queries=1_500,
+            tolerance_qps=15.0,
+        )
+        assert len(points) == 2
+        assert all(point.max_qps >= 0 for point in points)
+
+    def test_invalid_qos(self):
+        with pytest.raises(ValueError):
+            find_max_qps(
+                ClusterConfig(spec=BIG_SERVER), DEMAND, qos_p99_seconds=0.0
+            )
+
+
+class TestLowPower:
+    def test_partitioning_closes_the_gap(self):
+        """The paper's second headline: with enough partitions the
+        low-power server matches the big server's P=1 response time."""
+        points = compare_servers_vs_partitions(
+            [BIG_SERVER, SMALL_SERVER],
+            DEMAND,
+            partition_counts=[1, 8],
+            rate_qps=30.0,
+            cost_model=COST_MODEL,
+            num_queries=3_000,
+        )
+        results = {
+            (point.server_name, point.num_partitions): point.summary
+            for point in points
+        }
+        big_p1 = results[(BIG_SERVER.name, 1)]
+        small_p1 = results[(SMALL_SERVER.name, 1)]
+        small_p8 = results[(SMALL_SERVER.name, 8)]
+        # Unpartitioned, the small server is far slower...
+        assert small_p1.p99 > 2.0 * big_p1.p99
+        # ...but with 8 partitions it reaches the big server's P=1 level.
+        assert small_p8.p99 <= 1.2 * big_p1.p99
+
+    def test_matched_qos_energy_favors_small_server(self):
+        rows = matched_qos_energy(
+            [BIG_SERVER, SMALL_SERVER],
+            DEMAND,
+            qos_p99_seconds=0.25,
+            partition_counts=[1, 4, 8],
+            cost_model=COST_MODEL,
+            num_queries=1_500,
+        )
+        by_server = {row.server_name: row for row in rows}
+        big = by_server[BIG_SERVER.name]
+        small = by_server[SMALL_SERVER.name]
+        assert big.meets_qos and small.meets_qos
+        assert small.energy_per_query_joules < big.energy_per_query_joules
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            compare_servers_vs_partitions([], DEMAND, [1], rate_qps=10.0)
+        with pytest.raises(ValueError):
+            compare_servers_vs_partitions(
+                [BIG_SERVER], DEMAND, [], rate_qps=10.0
+            )
+
+
+class TestBreakdown:
+    def test_components_shift_with_partitions(self):
+        points = breakdown_vs_partitions(
+            BIG_SERVER,
+            DEMAND,
+            partition_counts=[1, 8],
+            rate_qps=100.0,
+            cost_model=COST_MODEL,
+            num_queries=3_000,
+        )
+        p1, p8 = points
+        # Parallelism shrinks per-query service...
+        assert (
+            p8.mean_components["parallel_service"]
+            < p1.mean_components["parallel_service"]
+        )
+        # ...while merge cost and fork-join skew appear.
+        assert (
+            p8.mean_components["merge_service"]
+            > p1.mean_components["merge_service"]
+        )
+        assert p8.mean_components["straggler_skew"] > 0
+        assert p1.mean_components["straggler_skew"] == pytest.approx(0.0)
+
+    def test_mean_latency_property(self):
+        points = breakdown_vs_partitions(
+            BIG_SERVER, DEMAND, [2], rate_qps=50.0, num_queries=1_500
+        )
+        assert points[0].mean_latency > 0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            breakdown_vs_partitions(BIG_SERVER, DEMAND, [], rate_qps=10.0)

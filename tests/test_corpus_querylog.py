@@ -1,0 +1,95 @@
+"""Unit tests for query-log generation."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.querylog import (
+    Query,
+    QueryLog,
+    QueryLogConfig,
+    QueryLogGenerator,
+)
+from repro.corpus.vocabulary import Vocabulary, VocabularyConfig
+
+
+@pytest.fixture(scope="module")
+def vocabulary():
+    return Vocabulary(VocabularyConfig(size=2_000, seed=3))
+
+
+class TestQueryLogGenerator:
+    def test_unique_query_count(self, small_query_log):
+        assert len(small_query_log) == 100
+
+    def test_queries_are_unique_texts(self, small_query_log):
+        texts = [query.text for query in small_query_log]
+        assert len(set(texts)) == len(texts)
+
+    def test_dense_query_ids(self, small_query_log):
+        assert [query.query_id for query in small_query_log] == list(range(100))
+
+    def test_terms_within_query_distinct(self, small_query_log):
+        for query in small_query_log:
+            terms = query.raw_terms
+            assert len(set(terms)) == len(terms)
+
+    def test_term_count_mix_respected(self, vocabulary):
+        config = QueryLogConfig(
+            num_unique_queries=1_000,
+            term_count_mix=((1, 0.5), (3, 0.5)),
+            seed=7,
+        )
+        log = QueryLogGenerator(vocabulary, config).generate()
+        histogram = log.term_count_histogram()
+        assert set(histogram) == {1, 3}
+        assert histogram[1] == pytest.approx(500, abs=80)
+
+    def test_deterministic(self, vocabulary):
+        config = QueryLogConfig(num_unique_queries=50, seed=13)
+        first = QueryLogGenerator(vocabulary, config).generate()
+        second = QueryLogGenerator(vocabulary, config).generate()
+        assert [q.text for q in first] == [q.text for q in second]
+
+    def test_invalid_mix_rejected(self):
+        with pytest.raises(ValueError):
+            QueryLogConfig(term_count_mix=((1, 0.5), (2, 0.4)))
+        with pytest.raises(ValueError):
+            QueryLogConfig(term_count_mix=((0, 1.0),))
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ValueError):
+            QueryLogConfig(num_unique_queries=0)
+
+
+class TestQueryLog:
+    def test_popularity_is_zipfian(self, small_query_log):
+        assert small_query_log.popularity(0) > small_query_log.popularity(50)
+        total = sum(
+            small_query_log.popularity(query_id)
+            for query_id in range(len(small_query_log))
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_sample_stream_length_and_membership(self, small_query_log, rng):
+        stream = small_query_log.sample_stream(500, rng)
+        assert len(stream) == 500
+        unique_ids = {query.query_id for query in stream}
+        assert unique_ids <= set(range(len(small_query_log)))
+
+    def test_sample_stream_head_heavy(self, small_query_log, rng):
+        stream = small_query_log.sample_stream(5_000, rng)
+        ids = np.array([query.query_id for query in stream])
+        head_share = np.mean(ids < 10)
+        assert head_share > 10 / len(small_query_log)
+
+    def test_sample_stream_negative(self, small_query_log, rng):
+        with pytest.raises(ValueError):
+            small_query_log.sample_stream(-1, rng)
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(ValueError):
+            QueryLog(queries=[])
+
+    def test_query_raw_terms(self):
+        query = Query(query_id=0, text="foo bar baz")
+        assert query.raw_terms == ["foo", "bar", "baz"]

@@ -1,0 +1,59 @@
+"""Unit tests for the synthetic vocabulary."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.vocabulary import Vocabulary, VocabularyConfig
+from repro.text.stopwords import DEFAULT_STOPWORDS
+
+
+class TestVocabulary:
+    def test_size(self):
+        vocabulary = Vocabulary(VocabularyConfig(size=500))
+        assert len(vocabulary) == 500
+        assert len(vocabulary.words) == 500
+
+    def test_words_are_unique(self):
+        vocabulary = Vocabulary(VocabularyConfig(size=3_000))
+        assert len(set(vocabulary.words)) == 3_000
+
+    def test_deterministic(self):
+        config = VocabularyConfig(size=200, seed=42)
+        assert Vocabulary(config).words == Vocabulary(config).words
+
+    def test_different_seeds_differ(self):
+        first = Vocabulary(VocabularyConfig(size=200, seed=1)).words
+        second = Vocabulary(VocabularyConfig(size=200, seed=2)).words
+        assert first != second
+
+    def test_frequent_words_are_short(self):
+        vocabulary = Vocabulary(VocabularyConfig(size=10_000))
+        head_length = np.mean([len(word) for word in vocabulary.words[:100]])
+        tail_length = np.mean([len(word) for word in vocabulary.words[-100:]])
+        assert head_length < tail_length
+
+    def test_no_stopword_collisions(self):
+        vocabulary = Vocabulary(VocabularyConfig(size=5_000))
+        collisions = set(vocabulary.words) & DEFAULT_STOPWORDS
+        assert not collisions
+
+    def test_frequencies_decrease_with_rank(self):
+        vocabulary = Vocabulary(VocabularyConfig(size=100, exponent=1.0))
+        assert vocabulary.frequency(0) > vocabulary.frequency(50)
+
+    def test_words_are_lowercase_alpha(self):
+        vocabulary = Vocabulary(VocabularyConfig(size=1_000))
+        for word in vocabulary.words[:200]:
+            assert word.isalpha()
+            assert word == word.lower()
+
+    def test_sampler_respects_vocabulary_size(self, rng):
+        vocabulary = Vocabulary(VocabularyConfig(size=64))
+        sampler = vocabulary.sampler(rng)
+        assert sampler.size == 64
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            VocabularyConfig(size=0)
+        with pytest.raises(ValueError):
+            VocabularyConfig(exponent=-1.0)

@@ -1,0 +1,103 @@
+"""Unit + property tests for the Zipf sampler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.zipf import ZipfSampler, zipf_weights
+
+
+class TestZipfWeights:
+    def test_normalized(self):
+        weights = zipf_weights(100, 1.0)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_monotonically_decreasing(self):
+        weights = zipf_weights(50, 1.2)
+        assert np.all(np.diff(weights) < 0)
+
+    def test_exponent_zero_is_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        assert np.allclose(weights, 0.1)
+
+    def test_head_share_grows_with_exponent(self):
+        light = zipf_weights(1000, 0.5)[:10].sum()
+        heavy = zipf_weights(1000, 1.5)[:10].sum()
+        assert heavy > light
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+
+    def test_rejects_negative_exponent(self):
+        with pytest.raises(ValueError):
+            zipf_weights(10, -0.1)
+
+    @given(
+        size=st.integers(min_value=1, max_value=500),
+        exponent=st.floats(min_value=0.0, max_value=3.0),
+    )
+    def test_weights_always_a_distribution(self, size, exponent):
+        weights = zipf_weights(size, exponent)
+        assert weights.shape == (size,)
+        assert np.all(weights > 0)
+        assert weights.sum() == pytest.approx(1.0)
+
+
+class TestZipfSampler:
+    def test_samples_in_range(self, rng):
+        sampler = ZipfSampler(100, 1.0, rng)
+        ranks = sampler.sample_many(5000)
+        assert ranks.min() >= 0
+        assert ranks.max() < 100
+
+    def test_rank_zero_is_most_frequent(self, rng):
+        sampler = ZipfSampler(100, 1.0, rng)
+        ranks = sampler.sample_many(20_000)
+        counts = np.bincount(ranks, minlength=100)
+        assert counts[0] == counts.max()
+
+    def test_empirical_matches_theoretical_head(self, rng):
+        sampler = ZipfSampler(50, 1.0, rng)
+        ranks = sampler.sample_many(100_000)
+        empirical = np.bincount(ranks, minlength=50) / 100_000
+        assert empirical[0] == pytest.approx(sampler.probability(0), abs=0.01)
+
+    def test_deterministic_given_seed(self):
+        first = ZipfSampler(100, 1.0, np.random.default_rng(9)).sample_many(100)
+        second = ZipfSampler(100, 1.0, np.random.default_rng(9)).sample_many(100)
+        assert np.array_equal(first, second)
+
+    def test_single_rank_distribution(self, rng):
+        sampler = ZipfSampler(1, 1.0, rng)
+        assert sampler.sample() == 0
+        assert sampler.probability(0) == pytest.approx(1.0)
+
+    def test_probability_out_of_range(self, rng):
+        sampler = ZipfSampler(10, 1.0, rng)
+        with pytest.raises(IndexError):
+            sampler.probability(10)
+        with pytest.raises(IndexError):
+            sampler.probability(-1)
+
+    def test_probabilities_sum_to_one(self, rng):
+        sampler = ZipfSampler(30, 0.8, rng)
+        total = sum(sampler.probability(rank) for rank in range(30))
+        assert total == pytest.approx(1.0)
+
+    def test_sample_many_negative_count(self, rng):
+        sampler = ZipfSampler(10, 1.0, rng)
+        with pytest.raises(ValueError):
+            sampler.sample_many(-1)
+
+    @settings(max_examples=25)
+    @given(
+        size=st.integers(min_value=1, max_value=200),
+        exponent=st.floats(min_value=0.0, max_value=2.5),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_all_samples_valid_ranks(self, size, exponent, seed):
+        sampler = ZipfSampler(size, exponent, np.random.default_rng(seed))
+        ranks = sampler.sample_many(200)
+        assert np.all((ranks >= 0) & (ranks < size))

@@ -1,0 +1,42 @@
+"""Tests for timing instrumentation."""
+
+import time
+
+import pytest
+
+from repro.engine.instrumentation import ComponentTimings, Timer
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.01
+        assert timer.elapsed < 0.5
+
+    def test_nested_timers_independent(self):
+        with Timer() as outer:
+            with Timer() as inner:
+                time.sleep(0.005)
+        assert outer.elapsed >= inner.elapsed
+
+    def test_elapsed_zero_before_use(self):
+        assert Timer().elapsed == 0.0
+
+
+class TestComponentTimings:
+    def test_slowest_shard(self):
+        timings = ComponentTimings(shard_seconds=[0.1, 0.5, 0.2])
+        assert timings.slowest_shard_seconds == 0.5
+
+    def test_skew(self):
+        timings = ComponentTimings(shard_seconds=[0.1, 0.5, 0.2])
+        assert timings.skew_seconds == pytest.approx(0.4)
+
+    def test_empty_shards(self):
+        timings = ComponentTimings()
+        assert timings.slowest_shard_seconds == 0.0
+        assert timings.skew_seconds == 0.0
+
+    def test_single_shard_no_skew(self):
+        assert ComponentTimings(shard_seconds=[0.3]).skew_seconds == 0.0

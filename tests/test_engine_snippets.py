@@ -1,0 +1,107 @@
+"""Tests for snippet generation."""
+
+import pytest
+
+from repro.corpus.documents import Document
+from repro.engine.snippets import SnippetGenerator
+from repro.text.analyzer import Analyzer, AnalyzerConfig, default_analyzer
+
+PLAIN = Analyzer(AnalyzerConfig(remove_stopwords=False, stem=False))
+
+
+def doc(body, title=""):
+    return Document(0, "u", title, body)
+
+
+class TestSnippetGenerator:
+    def test_highlights_query_terms(self):
+        generator = SnippetGenerator(PLAIN, window_tokens=10)
+        snippet = generator.snippet(
+            doc("the quick brown fox jumps"), ["fox", "quick"]
+        )
+        assert "**quick**" in snippet.text
+        assert "**fox**" in snippet.text
+        assert snippet.matched_terms == 2
+
+    def test_window_centers_on_matches(self):
+        filler = " ".join(f"word{i}" for i in range(60))
+        body = filler + " target phrase here " + filler
+        generator = SnippetGenerator(PLAIN, window_tokens=8)
+        snippet = generator.snippet(doc(body), ["target", "phrase"])
+        assert "**target**" in snippet.text
+        assert "**phrase**" in snippet.text
+        assert snippet.window_start > 0
+        assert snippet.text.startswith("… ")
+
+    def test_no_match_returns_opening_window(self):
+        generator = SnippetGenerator(PLAIN, window_tokens=5)
+        snippet = generator.snippet(
+            doc("one two three four five six seven"), ["absent"]
+        )
+        assert snippet.window_start == 0
+        assert snippet.matched_terms == 0
+        assert "**" not in snippet.text
+        assert snippet.text.endswith(" …")
+
+    def test_empty_document(self):
+        generator = SnippetGenerator(PLAIN)
+        snippet = generator.snippet(doc(""), ["x"])
+        assert snippet.text == ""
+        assert snippet.matched_terms == 0
+
+    def test_short_document_no_ellipses(self):
+        generator = SnippetGenerator(PLAIN, window_tokens=50)
+        snippet = generator.snippet(doc("tiny body"), ["tiny"])
+        assert not snippet.text.startswith("…")
+        assert not snippet.text.endswith("…")
+
+    def test_analyzer_normalization_highlights_variants(self):
+        """A query term 'search' must highlight 'Searching' in the raw
+        text — both normalize to the same index term."""
+        generator = SnippetGenerator(default_analyzer(), window_tokens=10)
+        snippet = generator.snippet(
+            doc("Users are Searching constantly"), ["search"]
+        )
+        assert "**Searching**" in snippet.text
+
+    def test_prefers_window_with_more_distinct_terms(self):
+        body = (
+            "alpha filler filler filler filler filler filler filler "
+            "filler filler alpha beta"
+        )
+        generator = SnippetGenerator(PLAIN, window_tokens=4)
+        snippet = generator.snippet(doc(body), ["alpha", "beta"])
+        assert snippet.matched_terms == 2
+
+    def test_title_participates(self):
+        generator = SnippetGenerator(PLAIN, window_tokens=5)
+        snippet = generator.snippet(
+            doc("plain body text", title="Important Title"), ["important"]
+        )
+        assert "**Important**" in snippet.text
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            SnippetGenerator(PLAIN, window_tokens=0)
+
+    def test_end_to_end_with_service(self, small_collection, small_index):
+        """Snippets for real search hits highlight real matches."""
+        from repro.search.executor import Searcher
+
+        searcher = Searcher(small_index)
+        generator = SnippetGenerator(small_index.analyzer, window_tokens=20)
+        term = None
+        # Find a mid-frequency term to query.
+        for candidate in small_index.dictionary:
+            if 3 <= small_index.document_frequency(candidate) <= 20:
+                term = candidate
+                break
+        assert term is not None
+        result = searcher.search(term, k=3)
+        assert result.hits
+        for hit in result.hits:
+            snippet = generator.snippet(
+                small_collection[hit.doc_id], list(result.query.terms)
+            )
+            assert snippet.matched_terms >= 1
+            assert "**" in snippet.text

@@ -1,0 +1,49 @@
+"""Unit tests for the term dictionary."""
+
+import pytest
+
+from repro.index.dictionary import TermDictionary
+
+
+class TestTermDictionary:
+    def test_add_and_lookup(self):
+        dictionary = TermDictionary()
+        info = dictionary.add("search", document_frequency=10, collection_frequency=25)
+        assert info.term_id == 0
+        assert dictionary.lookup("search") == info
+        assert "search" in dictionary
+
+    def test_dense_term_ids(self):
+        dictionary = TermDictionary()
+        for index, term in enumerate(["a1", "b2", "c3"]):
+            info = dictionary.add(term, 1, 1)
+            assert info.term_id == index
+        assert len(dictionary) == 3
+
+    def test_term_for_id(self):
+        dictionary = TermDictionary()
+        dictionary.add("web", 2, 4)
+        assert dictionary.term_for_id(0) == "web"
+
+    def test_duplicate_rejected(self):
+        dictionary = TermDictionary()
+        dictionary.add("dup", 1, 1)
+        with pytest.raises(ValueError):
+            dictionary.add("dup", 1, 1)
+
+    def test_unknown_lookup(self):
+        assert TermDictionary().lookup("missing") is None
+
+    def test_invalid_frequencies(self):
+        dictionary = TermDictionary()
+        with pytest.raises(ValueError):
+            dictionary.add("bad", document_frequency=0, collection_frequency=0)
+        with pytest.raises(ValueError):
+            dictionary.add("bad", document_frequency=5, collection_frequency=3)
+
+    def test_iteration_in_id_order(self):
+        dictionary = TermDictionary()
+        dictionary.add("zz", 1, 1)
+        dictionary.add("aa", 1, 1)
+        assert list(dictionary) == ["zz", "aa"]
+        assert dictionary.terms() == ["zz", "aa"]

@@ -1,0 +1,134 @@
+"""Unit + property tests for intra-server partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.partitioner import (
+    PartitionStrategy,
+    assign_documents,
+    partition_collection,
+    partition_index,
+)
+
+
+class TestAssignDocuments:
+    @pytest.mark.parametrize("strategy", list(PartitionStrategy))
+    def test_partition_is_exact_cover(self, strategy):
+        assignments = assign_documents(100, 4, strategy)
+        combined = sorted(doc_id for shard in assignments for doc_id in shard)
+        assert combined == list(range(100))
+
+    def test_round_robin_pattern(self):
+        assignments = assign_documents(7, 3, PartitionStrategy.ROUND_ROBIN)
+        assert assignments[0] == [0, 3, 6]
+        assert assignments[1] == [1, 4]
+        assert assignments[2] == [2, 5]
+
+    def test_contiguous_pattern(self):
+        assignments = assign_documents(10, 2, PartitionStrategy.CONTIGUOUS)
+        assert assignments[0] == [0, 1, 2, 3, 4]
+        assert assignments[1] == [5, 6, 7, 8, 9]
+
+    def test_hash_is_deterministic(self):
+        first = assign_documents(50, 4, PartitionStrategy.HASH)
+        second = assign_documents(50, 4, PartitionStrategy.HASH)
+        assert first == second
+
+    @pytest.mark.parametrize("strategy", list(PartitionStrategy))
+    def test_balance(self, strategy):
+        assignments = assign_documents(1_000, 8, strategy)
+        sizes = [len(shard) for shard in assignments]
+        assert max(sizes) - min(sizes) <= (
+            1 if strategy is not PartitionStrategy.HASH else 150
+        )
+
+    def test_single_partition_is_identity(self):
+        assignments = assign_documents(10, 1)
+        assert assignments == [list(range(10))]
+
+    def test_more_partitions_than_documents(self):
+        assignments = assign_documents(2, 5)
+        sizes = [len(shard) for shard in assignments]
+        assert sum(sizes) == 2
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(ValueError):
+            assign_documents(10, 0)
+
+    @settings(max_examples=30)
+    @given(
+        num_documents=st.integers(min_value=0, max_value=300),
+        num_partitions=st.integers(min_value=1, max_value=16),
+        strategy=st.sampled_from(list(PartitionStrategy)),
+    )
+    def test_cover_property(self, num_documents, num_partitions, strategy):
+        assignments = assign_documents(num_documents, num_partitions, strategy)
+        assert len(assignments) == num_partitions
+        combined = sorted(d for shard in assignments for d in shard)
+        assert combined == list(range(num_documents))
+        for shard in assignments:
+            assert shard == sorted(shard)
+
+
+class TestPartitionCollection:
+    def test_local_ids_dense(self, small_collection):
+        shards = partition_collection(small_collection, 4)
+        for shard in shards:
+            assert [doc.doc_id for doc in shard] == list(range(len(shard)))
+
+    def test_documents_preserved(self, small_collection):
+        shards = partition_collection(small_collection, 3)
+        shard_urls = sorted(doc.url for shard in shards for doc in shard)
+        original_urls = sorted(doc.url for doc in small_collection)
+        assert shard_urls == original_urls
+
+
+class TestPartitionIndex:
+    def test_shard_count_and_sizes(self, small_collection):
+        partitioned = partition_index(small_collection, 4)
+        assert partitioned.num_partitions == 4
+        assert partitioned.num_documents == len(small_collection)
+
+    def test_global_id_mapping_preserves_documents(self, small_collection):
+        # The shard's local document `l` must be the same page as the
+        # global document its id map points to.
+        partitioned = partition_index(small_collection, 3)
+        shard_collections = partition_collection(small_collection, 3)
+        for shard, shard_collection in zip(partitioned, shard_collections):
+            for local_id in range(shard.num_documents):
+                global_id = shard.to_global(local_id)
+                assert (
+                    small_collection[global_id].url
+                    == shard_collection[local_id].url
+                )
+
+    def test_global_ids_cover_collection(self, small_collection):
+        partitioned = partition_index(small_collection, 3)
+        all_globals = sorted(
+            int(g) for shard in partitioned for g in shard.global_doc_ids
+        )
+        assert all_globals == list(range(len(small_collection)))
+
+    def test_shard_postings_sum_to_full_index(self, small_collection, small_index):
+        partitioned = partition_index(small_collection, 4)
+        total = sum(shard.index.total_postings for shard in partitioned)
+        assert total == small_index.total_postings
+
+    def test_document_frequency_conserved(self, small_collection, small_index):
+        partitioned = partition_index(small_collection, 5)
+        for term in list(small_index.dictionary)[:50]:
+            shard_df = sum(
+                shard.index.document_frequency(term) for shard in partitioned
+            )
+            assert shard_df == small_index.document_frequency(term)
+
+    def test_single_partition_equals_full_index(self, small_collection, small_index):
+        partitioned = partition_index(small_collection, 1)
+        shard_index = partitioned[0].index
+        assert shard_index.num_documents == small_index.num_documents
+        assert shard_index.total_postings == small_index.total_postings
+        assert list(partitioned[0].global_doc_ids) == list(
+            range(len(small_collection))
+        )

@@ -1,0 +1,237 @@
+"""Tests for segment-based incremental indexing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.documents import Document, DocumentCollection
+from repro.index.builder import IndexBuilder
+from repro.index.segments import MergePolicy, SegmentedIndex
+from repro.search.executor import Searcher
+from repro.text.analyzer import Analyzer, AnalyzerConfig
+
+PLAIN = Analyzer(AnalyzerConfig(remove_stopwords=False, stem=False))
+
+
+def doc(text, doc_id=0):
+    return Document(doc_id=doc_id, url=f"u{text[:8]}-{doc_id}", title="",
+                    body=text)
+
+
+def fresh_reference(segmented):
+    """A monolithic index over the segmented index's live documents,
+    renumbered densely — used to compare rankings by URL."""
+    collection = DocumentCollection()
+    live = [
+        (global_id, segmented.document(global_id))
+        for global_id in range(segmented._next_global_id)
+        if global_id in segmented._documents
+        and global_id not in segmented._deleted
+    ]
+    for local_id, (_, document) in enumerate(live):
+        collection.add(
+            Document(
+                doc_id=local_id,
+                url=document.url,
+                title=document.title,
+                body=document.body,
+            )
+        )
+    return collection, Searcher(IndexBuilder(PLAIN).build(collection))
+
+
+class TestSegmentedIndexBasics:
+    def test_add_and_search(self):
+        segmented = SegmentedIndex(analyzer=PLAIN)
+        ids = segmented.add_documents([doc("cat dog"), doc("dog bird")])
+        assert ids == [0, 1]
+        assert segmented.num_documents == 2
+        assert segmented.num_segments == 1
+        hits = segmented.search("dog")
+        assert sorted(h.doc_id for h in hits) == [0, 1]
+
+    def test_each_batch_is_a_segment(self):
+        segmented = SegmentedIndex(
+            analyzer=PLAIN, merge_policy=MergePolicy(max_segments=100)
+        )
+        for _ in range(5):
+            segmented.add_documents([doc("xx yy")])
+        assert segmented.num_segments == 5
+
+    def test_search_spans_segments(self):
+        segmented = SegmentedIndex(
+            analyzer=PLAIN, merge_policy=MergePolicy(max_segments=100)
+        )
+        segmented.add_documents([doc("shared alpha")])
+        segmented.add_documents([doc("shared beta")])
+        hits = segmented.search("shared")
+        assert sorted(h.doc_id for h in hits) == [0, 1]
+
+    def test_empty_batch(self):
+        segmented = SegmentedIndex(analyzer=PLAIN)
+        assert segmented.add_documents([]) == []
+        assert segmented.num_segments == 0
+        assert segmented.search("anything") == []
+
+    def test_document_lookup(self):
+        segmented = SegmentedIndex(analyzer=PLAIN)
+        segmented.add_documents([doc("hello world")])
+        assert segmented.document(0).body == "hello world"
+        with pytest.raises(KeyError):
+            segmented.document(99)
+
+
+class TestDeletes:
+    def test_deleted_documents_never_surface(self):
+        segmented = SegmentedIndex(analyzer=PLAIN)
+        segmented.add_documents([doc("target one"), doc("target two")])
+        segmented.delete_document(0)
+        hits = segmented.search("target")
+        assert [h.doc_id for h in hits] == [1]
+        assert segmented.num_documents == 1
+        assert segmented.num_deleted == 1
+
+    def test_delete_twice_rejected(self):
+        segmented = SegmentedIndex(analyzer=PLAIN)
+        segmented.add_documents([doc("x y")])
+        segmented.delete_document(0)
+        with pytest.raises(KeyError):
+            segmented.delete_document(0)
+        with pytest.raises(KeyError):
+            segmented.document(0)
+
+    def test_delete_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            SegmentedIndex(analyzer=PLAIN).delete_document(5)
+
+    def test_tombstones_do_not_starve_the_page(self):
+        segmented = SegmentedIndex(
+            analyzer=PLAIN, merge_policy=MergePolicy(max_segments=100)
+        )
+        segmented.add_documents([doc(f"common word{i}", i) for i in range(20)])
+        for global_id in range(10):
+            segmented.delete_document(global_id)
+        hits = segmented.search("common", k=10)
+        assert len(hits) == 10
+        assert all(h.doc_id >= 10 for h in hits)
+
+
+class TestMerging:
+    def test_policy_bounds_segment_count(self):
+        policy = MergePolicy(max_segments=3, merge_factor=2)
+        segmented = SegmentedIndex(analyzer=PLAIN, merge_policy=policy)
+        for i in range(10):
+            segmented.add_documents([doc(f"w{i} shared", i)])
+        assert segmented.num_segments <= 4  # at most max+1 transiently
+        assert segmented.merges_performed > 0
+
+    def test_force_merge_single_segment(self):
+        segmented = SegmentedIndex(
+            analyzer=PLAIN, merge_policy=MergePolicy(max_segments=100)
+        )
+        for i in range(6):
+            segmented.add_documents([doc(f"tok{i} shared", i)])
+        segmented.force_merge()
+        assert segmented.num_segments == 1
+        hits = segmented.search("shared", k=10)
+        assert len(hits) == 6
+
+    def test_merge_reclaims_tombstones(self):
+        segmented = SegmentedIndex(
+            analyzer=PLAIN, merge_policy=MergePolicy(max_segments=100)
+        )
+        segmented.add_documents([doc("aa bb", 0), doc("aa cc", 1)])
+        segmented.delete_document(0)
+        segmented.force_merge()
+        assert segmented.num_deleted == 0
+        assert segmented.num_documents == 1
+        assert [h.doc_id for h in segmented.search("aa")] == [1]
+
+    def test_global_ids_stable_across_merges(self):
+        segmented = SegmentedIndex(
+            analyzer=PLAIN, merge_policy=MergePolicy(max_segments=100)
+        )
+        segmented.add_documents([doc("unique0", 0)])
+        segmented.add_documents([doc("unique1", 1)])
+        segmented.force_merge()
+        assert [h.doc_id for h in segmented.search("unique1")] == [1]
+        assert segmented.document(1).body == "unique1"
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            MergePolicy(max_segments=0)
+        with pytest.raises(ValueError):
+            MergePolicy(merge_factor=1)
+
+
+class TestLayoutInvariance:
+    """Rankings must not depend on the segment layout."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.lists(
+                st.sampled_from(["aa", "bb", "cc", "dd", "ee"]),
+                min_size=1,
+                max_size=6,
+            ).map(" ".join),
+            min_size=1,
+            max_size=10,
+        ),
+        st.data(),
+    )
+    def test_matches_monolithic_index(self, texts, data):
+        segmented = SegmentedIndex(
+            analyzer=PLAIN, merge_policy=MergePolicy(max_segments=3,
+                                                     merge_factor=2)
+        )
+        # Feed documents in random batch sizes.
+        position = 0
+        doc_id = 0
+        while position < len(texts):
+            size = data.draw(
+                st.integers(min_value=1, max_value=len(texts) - position)
+            )
+            batch = []
+            for text in texts[position : position + size]:
+                batch.append(doc(text, doc_id))
+                doc_id += 1
+            segmented.add_documents(batch)
+            position += size
+
+        collection, reference = fresh_reference(segmented)
+        for term in ("aa", "cc", "ee"):
+            segmented_hits = segmented.search(term, k=5)
+            reference_hits = reference.search(term, k=5)
+            segmented_urls = [
+                segmented.document(h.doc_id).url for h in segmented_hits
+            ]
+            reference_urls = [
+                collection[h.doc_id].url for h in reference_hits.hits
+            ]
+            assert segmented_urls == reference_urls
+
+    def test_matches_monolithic_after_deletes_and_merge(self):
+        segmented = SegmentedIndex(
+            analyzer=PLAIN, merge_policy=MergePolicy(max_segments=2,
+                                                     merge_factor=2)
+        )
+        rng = np.random.default_rng(3)
+        words = ["red", "green", "blue", "cyan", "pink"]
+        for i in range(30):
+            text = " ".join(rng.choice(words, size=4))
+            segmented.add_documents([doc(text, i)])
+        for global_id in (1, 5, 9, 20):
+            segmented.delete_document(global_id)
+        collection, reference = fresh_reference(segmented)
+        for term in words:
+            segmented_urls = [
+                segmented.document(h.doc_id).url
+                for h in segmented.search(term, k=8)
+            ]
+            reference_urls = [
+                collection[h.doc_id].url
+                for h in reference.search(term, k=8).hits
+            ]
+            assert segmented_urls == reference_urls

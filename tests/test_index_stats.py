@@ -1,0 +1,61 @@
+"""Unit tests for index statistics."""
+
+import pytest
+
+from repro.corpus.documents import Document, DocumentCollection
+from repro.index.builder import IndexBuilder
+from repro.index.stats import compute_statistics
+from repro.text.analyzer import Analyzer, AnalyzerConfig
+
+
+def build_index(texts):
+    collection = DocumentCollection()
+    for doc_id, text in enumerate(texts):
+        collection.add(Document(doc_id, f"u{doc_id}", "", text))
+    return IndexBuilder(
+        Analyzer(AnalyzerConfig(remove_stopwords=False, stem=False))
+    ).build(collection)
+
+
+class TestIndexStatistics:
+    def test_counts(self):
+        stats = compute_statistics(build_index(["aa bb", "aa"]))
+        assert stats.num_documents == 2
+        assert stats.num_terms == 2
+        assert stats.total_postings == 3
+
+    def test_posting_length_percentiles_ordered(self, small_index):
+        stats = compute_statistics(small_index, include_compressed_size=False)
+        assert (
+            stats.median_posting_length
+            <= stats.p90_posting_length
+            <= stats.p99_posting_length
+            <= stats.max_posting_length
+        )
+
+    def test_skew_present_in_zipfian_corpus(self, small_index):
+        stats = compute_statistics(small_index, include_compressed_size=False)
+        # Zipfian vocabularies produce a long posting-length tail.
+        assert stats.max_posting_length > 5 * stats.median_posting_length
+
+    def test_compressed_size_positive(self):
+        stats = compute_statistics(build_index(["aa bb cc"]))
+        assert stats.compressed_size_bytes > 0
+
+    def test_compressed_size_skippable(self):
+        stats = compute_statistics(
+            build_index(["aa bb cc"]), include_compressed_size=False
+        )
+        assert stats.compressed_size_bytes == 0
+
+    def test_empty_index(self):
+        stats = compute_statistics(build_index([]))
+        assert stats.num_documents == 0
+        assert stats.num_terms == 0
+        assert stats.max_posting_length == 0
+
+    def test_as_rows_contains_all_labels(self, small_index):
+        rows = compute_statistics(small_index, include_compressed_size=False).as_rows()
+        assert "documents" in rows
+        assert "p99 posting length" in rows
+        assert rows["documents"] == small_index.num_documents

@@ -1,0 +1,94 @@
+"""Unit + property tests for latency recording and percentiles."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.latency import LatencyRecorder
+
+
+class TestLatencyRecorder:
+    def test_record_and_count(self):
+        recorder = LatencyRecorder()
+        recorder.record_many([0.1, 0.2, 0.3])
+        assert len(recorder) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record(-0.1)
+
+    def test_percentile_lower_convention(self):
+        recorder = LatencyRecorder()
+        recorder.record_many([1.0, 2.0, 3.0, 4.0])
+        # "lower" returns an observed sample.
+        assert recorder.percentile(50) in (1.0, 2.0, 3.0, 4.0)
+        assert recorder.percentile(0) == 1.0
+        assert recorder.percentile(100) == 4.0
+
+    def test_percentile_monotone(self):
+        recorder = LatencyRecorder()
+        recorder.record_many(np.random.default_rng(0).exponential(1.0, 1_000))
+        assert (
+            recorder.percentile(50)
+            <= recorder.percentile(90)
+            <= recorder.percentile(99)
+        )
+
+    def test_mean_min_max(self):
+        recorder = LatencyRecorder()
+        recorder.record_many([2.0, 4.0])
+        assert recorder.mean() == 3.0
+        assert recorder.min() == 2.0
+        assert recorder.max() == 4.0
+
+    def test_empty_raises(self):
+        recorder = LatencyRecorder()
+        with pytest.raises(ValueError):
+            recorder.percentile(50)
+        with pytest.raises(ValueError):
+            recorder.mean()
+        with pytest.raises(ValueError):
+            recorder.max()
+
+    def test_invalid_quantile(self):
+        recorder = LatencyRecorder()
+        recorder.record(1.0)
+        with pytest.raises(ValueError):
+            recorder.percentile(101)
+        with pytest.raises(ValueError):
+            recorder.percentile(-1)
+
+    def test_merge(self):
+        first = LatencyRecorder()
+        first.record_many([1.0, 2.0])
+        second = LatencyRecorder()
+        second.record_many([3.0])
+        first.merge(second)
+        assert len(first) == 3
+        assert first.max() == 3.0
+
+    def test_tail_ratio(self):
+        recorder = LatencyRecorder()
+        recorder.record_many([1.0] * 99 + [10.0])
+        assert recorder.tail_ratio(99) >= 1.0
+
+    def test_tail_ratio_zero_median(self):
+        recorder = LatencyRecorder()
+        recorder.record_many([0.0, 0.0, 5.0])
+        assert recorder.tail_ratio() == float("inf")
+
+    def test_records_after_percentile_query(self):
+        # The sorted cache must invalidate on new samples.
+        recorder = LatencyRecorder()
+        recorder.record(1.0)
+        assert recorder.percentile(100) == 1.0
+        recorder.record(5.0)
+        assert recorder.percentile(100) == 5.0
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6), min_size=1, max_size=200))
+    def test_percentiles_are_observed_samples(self, samples):
+        recorder = LatencyRecorder()
+        recorder.record_many(samples)
+        for quantile in (0, 25, 50, 90, 99, 100):
+            assert recorder.percentile(quantile) in samples

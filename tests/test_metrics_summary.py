@@ -1,0 +1,126 @@
+"""Unit tests for latency summaries, throughput, and histograms."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.histogram import Histogram, cdf_points
+from repro.metrics.summary import summarize
+from repro.metrics.throughput import ThroughputTracker
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.count == 5
+        assert summary.mean == 3.0
+        assert summary.p50 == 3.0
+        assert summary.max == 5.0
+
+    def test_percentiles_ordered(self):
+        samples = np.random.default_rng(1).lognormal(0, 1, 2_000)
+        summary = summarize(samples)
+        assert (
+            summary.p50
+            <= summary.p90
+            <= summary.p95
+            <= summary.p99
+            <= summary.p999
+            <= summary.max
+        )
+
+    def test_tail_ratio(self):
+        summary = summarize([1.0] * 90 + [100.0] * 10)
+        assert summary.tail_ratio > 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_scaled(self):
+        summary = summarize([1.0, 2.0]).scaled(1000.0)
+        assert summary.mean == 1500.0
+        assert summary.count == 2
+
+    def test_as_dict(self):
+        data = summarize([1.0]).as_dict()
+        assert set(data) == {
+            "count", "mean", "p50", "p90", "p95", "p99", "p999", "max",
+        }
+
+
+class TestThroughputTracker:
+    def test_overall_qps(self):
+        tracker = ThroughputTracker()
+        tracker.record_many([0.0, 1.0, 2.0, 3.0, 4.0])
+        assert tracker.overall_qps() == pytest.approx(1.0)
+
+    def test_needs_two_completions(self):
+        tracker = ThroughputTracker()
+        tracker.record(1.0)
+        with pytest.raises(ValueError):
+            tracker.overall_qps()
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ThroughputTracker().record(-1.0)
+
+    def test_windowed_qps(self):
+        tracker = ThroughputTracker()
+        tracker.record_many([0.1, 0.2, 0.3, 1.5])
+        windows = tracker.windowed_qps(1.0)
+        assert windows[0] == pytest.approx(3.0)
+        assert windows[1] == pytest.approx(1.0)
+
+    def test_windowed_empty(self):
+        assert ThroughputTracker().windowed_qps(1.0).size == 0
+
+    def test_windowed_invalid(self):
+        with pytest.raises(ValueError):
+            ThroughputTracker().windowed_qps(0)
+
+
+class TestHistogram:
+    def test_counts_cover_all_samples(self):
+        samples = np.random.default_rng(2).lognormal(0, 0.5, 500)
+        histogram = Histogram.from_samples(samples, num_bins=20)
+        assert histogram.total == 500
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Histogram.from_samples([0.0, 1.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Histogram.from_samples([])
+
+    def test_constant_samples(self):
+        histogram = Histogram.from_samples([2.0, 2.0, 2.0], num_bins=5)
+        assert histogram.total == 3
+
+    def test_densities_sum_to_one(self):
+        histogram = Histogram.from_samples([1.0, 2.0, 4.0, 8.0], num_bins=8)
+        assert histogram.densities().sum() == pytest.approx(1.0)
+
+    def test_mode_bin(self):
+        histogram = Histogram.from_samples([1.0, 1.01, 1.02, 100.0], num_bins=10)
+        low, high = histogram.mode_bin()
+        assert low <= 1.02 and high < 100.0
+
+
+class TestCdfPoints:
+    def test_endpoints(self):
+        points = cdf_points([1.0, 2.0, 3.0], num_points=5)
+        assert points[0] == (1.0, 0.0)
+        assert points[-1] == (3.0, 1.0)
+
+    def test_monotone(self):
+        samples = np.random.default_rng(3).exponential(1.0, 300)
+        points = cdf_points(samples, num_points=50)
+        values = [value for value, _ in points]
+        assert values == sorted(values)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            cdf_points([], num_points=5)
+        with pytest.raises(ValueError):
+            cdf_points([1.0], num_points=1)

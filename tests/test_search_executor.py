@@ -1,0 +1,128 @@
+"""Unit tests for Searcher / ShardSearcher / result merging."""
+
+import pytest
+
+from repro.index.partitioner import partition_index
+from repro.search.executor import Searcher, ShardSearcher
+from repro.search.merger import merge_shard_results
+from repro.search.query import QueryMode
+from repro.search.topk import SearchHit
+
+
+class TestSearcher:
+    def test_search_raw_text(self, small_index, small_query_log):
+        searcher = Searcher(small_index)
+        result = searcher.search(small_query_log[0].text)
+        assert len(result.hits) <= 10
+        assert result.matched_volume >= 0
+
+    def test_algorithms_agree(self, small_index, small_query_log):
+        daat = Searcher(small_index, algorithm="daat")
+        taat = Searcher(small_index, algorithm="taat")
+        for query in list(small_query_log)[:10]:
+            assert daat.search(query.text).doc_ids() == taat.search(
+                query.text
+            ).doc_ids()
+
+    def test_unknown_algorithm_rejected(self, small_index):
+        with pytest.raises(ValueError):
+            Searcher(small_index, algorithm="magic")
+
+    def test_k_respected(self, small_index, small_query_log):
+        searcher = Searcher(small_index)
+        result = searcher.search(small_query_log[0].text, k=3)
+        assert len(result.hits) <= 3
+
+    def test_matched_volume_is_postings_sum(self, small_index):
+        searcher = Searcher(small_index)
+        term = small_index.dictionary.term_for_id(0)
+        result = searcher.search(term)
+        # Analysis may alter the raw term; use parsed terms to verify.
+        expected = sum(
+            small_index.document_frequency(t) for t in result.query.terms
+        )
+        assert result.matched_volume == expected
+
+    def test_result_accessors(self, small_index, small_query_log):
+        result = Searcher(small_index).search(small_query_log[1].text)
+        assert len(result.doc_ids()) == len(result.scores())
+
+
+class TestShardSearcher:
+    def test_global_ids_returned(self, small_collection):
+        partitioned = partition_index(small_collection, 4)
+        shard = partitioned[1]
+        searcher = ShardSearcher(shard)
+        term = shard.index.dictionary.term_for_id(0)
+        result = searcher.search(term)
+        valid_globals = set(int(g) for g in shard.global_doc_ids)
+        for doc_id in result.doc_ids():
+            assert doc_id in valid_globals
+
+    def test_global_stats_partitioned_search_equals_full_index(
+        self, small_collection, small_index, small_query_log
+    ):
+        """With distributed-idf (global statistics) scoring, partitioned
+        search must rank exactly like the unpartitioned index."""
+        from repro.search.global_stats import global_scorer_factory
+
+        partitioned = partition_index(small_collection, 3)
+        factory = global_scorer_factory(partitioned)
+        shard_searchers = [
+            ShardSearcher(shard, scorer_factory=factory) for shard in partitioned
+        ]
+        full = Searcher(small_index)
+        for query in list(small_query_log)[:15]:
+            full_result = full.search(query.text, k=5)
+            shard_results = [
+                searcher.search(query.text, k=5).hits
+                for searcher in shard_searchers
+            ]
+            merged = merge_shard_results(shard_results, k=5)
+            assert [h.doc_id for h in merged] == full_result.doc_ids()
+            for merged_hit, full_hit in zip(merged, full_result.hits):
+                assert merged_hit.score == pytest.approx(full_hit.score)
+
+    def test_shard_local_stats_approximate_full_ranking(
+        self, small_collection, small_index, small_query_log
+    ):
+        """Shard-local statistics perturb the ranking (the benchmark's
+        default behaviour); on average the top-5 sets still overlap."""
+        partitioned = partition_index(small_collection, 3)
+        shard_searchers = [ShardSearcher(shard) for shard in partitioned]
+        full = Searcher(small_index)
+        overlaps = []
+        for query in list(small_query_log)[:20]:
+            full_result = full.search(query.text, k=5)
+            if len(full_result.hits) < 5:
+                continue
+            shard_results = [
+                searcher.search(query.text, k=5).hits
+                for searcher in shard_searchers
+            ]
+            merged = merge_shard_results(shard_results, k=5)
+            overlap = set(h.doc_id for h in merged) & set(full_result.doc_ids())
+            overlaps.append(len(overlap) / 5)
+        assert overlaps, "query log produced no full result pages"
+        assert sum(overlaps) / len(overlaps) >= 0.5
+
+
+class TestMerger:
+    def test_merge_preserves_global_order(self):
+        shard_a = [SearchHit(score=3.0, doc_id=1), SearchHit(score=1.0, doc_id=3)]
+        shard_b = [SearchHit(score=2.0, doc_id=2)]
+        merged = merge_shard_results([shard_a, shard_b], k=2)
+        assert [h.doc_id for h in merged] == [1, 2]
+
+    def test_merge_tie_breaks_by_doc_id(self):
+        shard_a = [SearchHit(score=1.0, doc_id=9)]
+        shard_b = [SearchHit(score=1.0, doc_id=2)]
+        merged = merge_shard_results([shard_a, shard_b], k=1)
+        assert merged[0].doc_id == 2
+
+    def test_merge_empty_shards(self):
+        assert merge_shard_results([[], []], k=5) == []
+
+    def test_merge_k_larger_than_hits(self):
+        merged = merge_shard_results([[SearchHit(score=1.0, doc_id=0)]], k=10)
+        assert len(merged) == 1

@@ -1,0 +1,123 @@
+"""Tests for phrase query evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.documents import Document, DocumentCollection
+from repro.index.positional import PositionalIndexBuilder
+from repro.search.phrase import parse_phrase, phrase_frequency, score_phrase
+from repro.text.analyzer import Analyzer, AnalyzerConfig
+
+PLAIN = Analyzer(AnalyzerConfig(remove_stopwords=False, stem=False))
+
+
+def build(texts):
+    collection = DocumentCollection()
+    for doc_id, text in enumerate(texts):
+        collection.add(Document(doc_id, f"u{doc_id}", "", text))
+    return PositionalIndexBuilder(PLAIN).build(collection)
+
+
+@pytest.fixture(scope="module")
+def positional():
+    return build(
+        [
+            "new york city",             # 0: phrase at 0
+            "york new jersey",           # 1: terms present, wrong order
+            "the new great york",        # 2: terms present, gap
+            "new york new york",         # 3: phrase twice
+            "completely unrelated text", # 4
+        ]
+    )
+
+
+class TestPhraseFrequency:
+    def test_single_occurrence(self):
+        assert phrase_frequency([np.array([0]), np.array([1])]) == 1
+
+    def test_no_occurrence(self):
+        assert phrase_frequency([np.array([0]), np.array([5])]) == 0
+
+    def test_multiple_occurrences(self):
+        assert (
+            phrase_frequency([np.array([0, 2]), np.array([1, 3])]) == 2
+        )
+
+    def test_three_term_phrase(self):
+        assert (
+            phrase_frequency(
+                [np.array([4]), np.array([5]), np.array([6])]
+            )
+            == 1
+        )
+
+    def test_empty(self):
+        assert phrase_frequency([]) == 0
+
+
+class TestScorePhrase:
+    def test_matches_only_consecutive_in_order(self, positional):
+        hits = score_phrase(positional, ("new", "york"))
+        assert sorted(hit.doc_id for hit in hits) == [0, 3]
+
+    def test_phrase_frequency_boosts_score(self, positional):
+        hits = score_phrase(positional, ("new", "york"))
+        by_doc = {hit.doc_id: hit.score for hit in hits}
+        assert by_doc[3] > by_doc[0]  # two occurrences beat one
+
+    def test_three_term_phrase(self, positional):
+        hits = score_phrase(positional, ("new", "york", "city"))
+        assert [hit.doc_id for hit in hits] == [0]
+
+    def test_missing_term_empty(self, positional):
+        assert score_phrase(positional, ("new", "zealand")) == []
+
+    def test_single_term_degenerates_to_term_query(self, positional):
+        hits = score_phrase(positional, ("york",))
+        assert sorted(hit.doc_id for hit in hits) == [0, 1, 2, 3]
+
+    def test_empty_phrase(self, positional):
+        assert score_phrase(positional, ()) == []
+
+    def test_k_limits(self, positional):
+        hits = score_phrase(positional, ("new",), k=2)
+        assert len(hits) == 2
+
+    def test_invalid_k(self, positional):
+        with pytest.raises(ValueError):
+            score_phrase(positional, ("new",), k=0)
+
+    def test_parse_phrase_keeps_order_and_duplicates(self):
+        assert parse_phrase(PLAIN, "new york new") == ("new", "york", "new")
+
+    def test_phrase_subset_of_conjunctive_results(self, small_collection):
+        """Every phrase match must also be an AND match — the phrase
+        adds the adjacency constraint on top."""
+        from repro.index.positional import PositionalIndexBuilder
+        from repro.search.daat import score_daat
+        from repro.search.query import ParsedQuery, QueryMode
+
+        positional = PositionalIndexBuilder().build(small_collection)
+        # Take adjacent term pairs from real documents so phrases exist.
+        analyzer = positional.analyzer
+        checked = 0
+        for document in list(small_collection)[:40]:
+            terms = analyzer.analyze(document.text)
+            if len(terms) < 2:
+                continue
+            pair = (terms[0], terms[1])
+            if pair[0] == pair[1]:
+                continue
+            phrase_hits = score_phrase(positional, pair, k=100)
+            and_hits = score_daat(
+                positional.index,
+                ParsedQuery(terms=pair, mode=QueryMode.AND, k=10_000),
+            )
+            assert set(h.doc_id for h in phrase_hits) <= set(
+                h.doc_id for h in and_hits
+            )
+            assert document.doc_id in {h.doc_id for h in phrase_hits}
+            checked += 1
+            if checked >= 10:
+                break
+        assert checked >= 5

@@ -1,0 +1,45 @@
+"""Unit tests for query parsing."""
+
+import pytest
+
+from repro.search.query import ParsedQuery, QueryMode, QueryParser
+from repro.text.analyzer import Analyzer, AnalyzerConfig
+
+
+class TestQueryParser:
+    def setup_method(self):
+        self.parser = QueryParser()
+        self.plain_parser = QueryParser(
+            Analyzer(AnalyzerConfig(remove_stopwords=False, stem=False))
+        )
+
+    def test_basic_parse(self):
+        query = self.plain_parser.parse("web search engine")
+        assert query.terms == ("web", "search", "engine")
+        assert query.mode is QueryMode.OR
+        assert query.k == 10
+
+    def test_deduplication_keeps_order(self):
+        query = self.plain_parser.parse("cat dog cat bird dog")
+        assert query.terms == ("cat", "dog", "bird")
+
+    def test_analyzer_normalization(self):
+        query = self.parser.parse("The SERVERS")
+        assert query.terms == ("server",)
+
+    def test_all_stopwords_gives_empty_query(self):
+        query = self.parser.parse("the and of")
+        assert query.is_empty
+
+    def test_stemming_merges_variants(self):
+        query = self.parser.parse("searching searched")
+        assert query.terms == ("search",)
+
+    def test_mode_and_k_propagate(self):
+        query = self.plain_parser.parse("a b", mode=QueryMode.AND, k=5)
+        assert query.mode is QueryMode.AND
+        assert query.k == 5
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            ParsedQuery(terms=("x",), k=0)

@@ -1,0 +1,93 @@
+"""Unit + property tests for relevance scoring."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.search.scoring import BM25Scorer, TfIdfScorer
+
+
+class TestBM25Scorer:
+    def setup_method(self):
+        self.scorer = BM25Scorer(num_documents=1_000, average_doc_length=100.0)
+
+    def test_idf_decreases_with_document_frequency(self):
+        assert self.scorer.idf(1) > self.scorer.idf(100) > self.scorer.idf(900)
+
+    def test_idf_non_negative(self):
+        # Lucene-style idf never goes negative, even for df close to N.
+        assert self.scorer.idf(1_000) >= 0.0
+
+    def test_score_increases_with_tf(self):
+        idf = self.scorer.idf(10)
+        assert self.scorer.score(2, 100, idf) > self.scorer.score(1, 100, idf)
+
+    def test_tf_saturation(self):
+        idf = self.scorer.idf(10)
+        gain_low = self.scorer.score(2, 100, idf) - self.scorer.score(1, 100, idf)
+        gain_high = self.scorer.score(20, 100, idf) - self.scorer.score(19, 100, idf)
+        assert gain_high < gain_low
+
+    def test_length_normalization_penalizes_long_docs(self):
+        idf = self.scorer.idf(10)
+        assert self.scorer.score(3, 50, idf) > self.scorer.score(3, 500, idf)
+
+    def test_zero_tf_scores_zero(self):
+        assert self.scorer.score(0, 100, self.scorer.idf(10)) == 0.0
+
+    def test_max_score_is_upper_bound(self):
+        idf = self.scorer.idf(5)
+        bound = self.scorer.max_score(idf)
+        for tf in (1, 5, 50, 5_000):
+            for length in (1, 10, 1_000):
+                assert self.scorer.score(tf, length, idf) <= bound + 1e-12
+
+    def test_b_zero_ignores_length(self):
+        scorer = BM25Scorer(num_documents=100, average_doc_length=50.0, b=0.0)
+        idf = scorer.idf(10)
+        assert scorer.score(3, 10, idf) == pytest.approx(scorer.score(3, 10_000, idf))
+
+    def test_empty_collection_average(self):
+        scorer = BM25Scorer(num_documents=0, average_doc_length=0.0)
+        # Must not divide by zero.
+        assert scorer.score(1, 0, 1.0) > 0.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BM25Scorer(num_documents=-1, average_doc_length=1.0)
+        with pytest.raises(ValueError):
+            BM25Scorer(num_documents=1, average_doc_length=1.0, b=1.5)
+        with pytest.raises(ValueError):
+            BM25Scorer(num_documents=1, average_doc_length=1.0, k1=-0.1)
+
+    @given(
+        tf=st.integers(min_value=1, max_value=10_000),
+        length=st.integers(min_value=1, max_value=100_000),
+        df=st.integers(min_value=1, max_value=999),
+    )
+    def test_scores_always_positive_and_bounded(self, tf, length, df):
+        scorer = BM25Scorer(num_documents=1_000, average_doc_length=120.0)
+        idf = scorer.idf(df)
+        score = scorer.score(tf, length, idf)
+        assert 0.0 < score <= scorer.max_score(idf) + 1e-12
+
+
+class TestTfIdfScorer:
+    def setup_method(self):
+        self.scorer = TfIdfScorer(num_documents=1_000)
+
+    def test_idf_positive(self):
+        assert self.scorer.idf(1) > 0
+        assert self.scorer.idf(999) > 0
+
+    def test_log_tf(self):
+        idf = self.scorer.idf(10)
+        assert self.scorer.score(1, 0, idf) == pytest.approx(idf)
+        assert self.scorer.score(10, 0, idf) > self.scorer.score(1, 0, idf)
+
+    def test_length_independent(self):
+        idf = self.scorer.idf(10)
+        assert self.scorer.score(3, 5, idf) == self.scorer.score(3, 5_000, idf)
+
+    def test_zero_tf(self):
+        assert self.scorer.score(0, 10, 1.0) == 0.0

@@ -1,0 +1,88 @@
+"""Unit + property tests for the bounded top-k heap."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.search.topk import SearchHit, TopKHeap
+
+
+class TestTopKHeap:
+    def test_keeps_best_k(self):
+        heap = TopKHeap(3)
+        for doc_id, score in enumerate([1.0, 5.0, 3.0, 4.0, 2.0]):
+            heap.offer(doc_id, score)
+        results = heap.results()
+        assert [hit.score for hit in results] == [5.0, 4.0, 3.0]
+
+    def test_results_best_first(self):
+        heap = TopKHeap(10)
+        heap.offer(0, 1.0)
+        heap.offer(1, 9.0)
+        heap.offer(2, 5.0)
+        scores = [hit.score for hit in heap.results()]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_ties_break_by_doc_id(self):
+        heap = TopKHeap(2)
+        heap.offer(7, 1.0)
+        heap.offer(3, 1.0)
+        heap.offer(5, 1.0)
+        results = heap.results()
+        assert [hit.doc_id for hit in results] == [3, 5]
+
+    def test_threshold_before_full(self):
+        heap = TopKHeap(2)
+        assert heap.threshold() == float("-inf")
+        heap.offer(0, 1.0)
+        assert heap.threshold() == float("-inf")
+        heap.offer(1, 2.0)
+        assert heap.threshold() == 1.0
+
+    def test_threshold_rises(self):
+        heap = TopKHeap(1)
+        heap.offer(0, 1.0)
+        heap.offer(1, 3.0)
+        assert heap.threshold() == 3.0
+
+    def test_offer_reports_retention(self):
+        heap = TopKHeap(1)
+        assert heap.offer(0, 2.0) is True
+        assert heap.offer(1, 1.0) is False
+        assert heap.offer(2, 3.0) is True
+
+    def test_rejects_equal_score_higher_doc_id(self):
+        heap = TopKHeap(1)
+        heap.offer(3, 1.0)
+        assert heap.offer(9, 1.0) is False
+        assert heap.results()[0].doc_id == 3
+
+    def test_accepts_equal_score_lower_doc_id(self):
+        heap = TopKHeap(1)
+        heap.offer(9, 1.0)
+        assert heap.offer(3, 1.0) is True
+        assert heap.results()[0].doc_id == 3
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            TopKHeap(0)
+
+    def test_search_hit_sort_key(self):
+        better = SearchHit(score=2.0, doc_id=9)
+        worse = SearchHit(score=1.0, doc_id=1)
+        assert better.sort_key() < worse.sort_key()
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1e6), max_size=100),
+        st.integers(min_value=1, max_value=20),
+    )
+    def test_matches_sorting(self, scores, k):
+        heap = TopKHeap(k)
+        for doc_id, score in enumerate(scores):
+            heap.offer(doc_id, score)
+        expected = sorted(
+            ((score, doc_id) for doc_id, score in enumerate(scores)),
+            key=lambda pair: (-pair[0], pair[1]),
+        )[:k]
+        actual = [(hit.score, hit.doc_id) for hit in heap.results()]
+        assert actual == expected

@@ -1,0 +1,65 @@
+"""Unit tests for RNG streams and network models."""
+
+import numpy as np
+import pytest
+
+from repro.sim.network import FixedDelay, LognormalDelay, NoDelay
+from repro.sim.random import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_name_same_stream_object(self):
+        streams = RandomStreams(7)
+        assert streams.stream("arrivals") is streams.stream("arrivals")
+
+    def test_reproducible_across_instances(self):
+        first = RandomStreams(7).stream("arrivals").random(5)
+        second = RandomStreams(7).stream("arrivals").random(5)
+        assert np.array_equal(first, second)
+
+    def test_independent_of_request_order(self):
+        streams_a = RandomStreams(7)
+        streams_a.stream("demands")
+        a = streams_a.stream("arrivals").random(5)
+        streams_b = RandomStreams(7)
+        b = streams_b.stream("arrivals").random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_names_differ(self):
+        streams = RandomStreams(7)
+        a = streams.stream("arrivals").random(5)
+        b = streams.stream("demands").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(1).stream("x").random(5)
+        b = RandomStreams(2).stream("x").random(5)
+        assert not np.array_equal(a, b)
+
+
+class TestNetworkModels:
+    def test_no_delay(self, rng):
+        assert NoDelay().delay(rng) == 0.0
+
+    def test_fixed_delay(self, rng):
+        assert FixedDelay(0.001).delay(rng) == 0.001
+
+    def test_fixed_delay_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FixedDelay(-0.1)
+
+    def test_lognormal_delay_positive(self, rng):
+        model = LognormalDelay(median=0.001, sigma=0.5)
+        delays = [model.delay(rng) for _ in range(500)]
+        assert all(delay > 0 for delay in delays)
+
+    def test_lognormal_delay_median(self, rng):
+        model = LognormalDelay(median=0.002, sigma=0.3)
+        delays = np.array([model.delay(rng) for _ in range(5_000)])
+        assert np.median(delays) == pytest.approx(0.002, rel=0.1)
+
+    def test_lognormal_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            LognormalDelay(median=0.0)
+        with pytest.raises(ValueError):
+            LognormalDelay(median=1.0, sigma=-1.0)

@@ -1,0 +1,54 @@
+"""Unit tests for the analyzer chain."""
+
+from repro.text.analyzer import Analyzer, AnalyzerConfig, default_analyzer
+
+
+class TestAnalyzer:
+    def test_full_chain(self):
+        analyzer = default_analyzer()
+        terms = analyzer.analyze("The Servers are Searching!")
+        # "the"/"are" are stopwords; remaining terms lowercased + stemmed.
+        assert terms == ["server", "search"]
+
+    def test_lowercase_only(self):
+        analyzer = Analyzer(
+            AnalyzerConfig(lowercase=True, remove_stopwords=False, stem=False)
+        )
+        assert analyzer.analyze("The QUICK fox") == ["the", "quick", "fox"]
+
+    def test_stopwords_respect_case_flag(self):
+        # Without lowercasing, "The" does not match the lowercase
+        # stopword list and survives.
+        analyzer = Analyzer(
+            AnalyzerConfig(lowercase=False, remove_stopwords=True, stem=False)
+        )
+        assert analyzer.analyze("The the") == ["The"]
+
+    def test_no_filters(self):
+        analyzer = Analyzer(
+            AnalyzerConfig(lowercase=False, remove_stopwords=False, stem=False)
+        )
+        assert analyzer.analyze("Keep EVERYTHING as IS") == [
+            "Keep",
+            "EVERYTHING",
+            "as",
+            "IS",
+        ]
+
+    def test_empty_input(self):
+        assert default_analyzer().analyze("") == []
+
+    def test_all_stopwords_input(self):
+        assert default_analyzer().analyze("the and of to") == []
+
+    def test_query_document_symmetry(self):
+        # The core invariant: analyzing the same word in a document and
+        # in a query must produce the same index term.
+        analyzer = default_analyzer()
+        assert analyzer.analyze("Characterizations") == analyzer.analyze(
+            "characterizations"
+        )
+
+    def test_max_token_length_propagates(self):
+        analyzer = Analyzer(AnalyzerConfig(max_token_length=4))
+        assert analyzer.analyze("tiny enormous") == ["tiny"]

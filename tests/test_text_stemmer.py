@@ -1,0 +1,55 @@
+"""Unit tests for the suffix stemmer."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.text.stemmer import SuffixStemmer
+
+
+class TestSuffixStemmer:
+    def setup_method(self):
+        self.stemmer = SuffixStemmer()
+
+    def test_plural_s(self):
+        assert self.stemmer.stem("servers") == "server"
+
+    def test_ies_to_y(self):
+        assert self.stemmer.stem("queries") == "query"
+
+    def test_ing(self):
+        assert self.stemmer.stem("searching") == "search"
+
+    def test_ed(self):
+        assert self.stemmer.stem("indexed") == "index"
+
+    def test_ation(self):
+        assert self.stemmer.stem("characterization") == "characterize"
+
+    def test_short_words_untouched(self):
+        assert self.stemmer.stem("as") == "as"
+        assert self.stemmer.stem("is") == "is"
+
+    def test_refuses_vowelless_stem(self):
+        # "pss" would stem to "ps" which is too short; stays intact.
+        assert self.stemmer.stem("pss") == "pss"
+
+    def test_stem_without_vowel_rejected(self):
+        # "bcds" -> "bcd" has no vowel, so the word is left alone.
+        assert self.stemmer.stem("bcds") == "bcds"
+
+    def test_no_suffix_match(self):
+        assert self.stemmer.stem("foo") == "foo"
+        assert self.stemmer.stem("quantum") == "quantum"
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=20))
+    def test_stemming_is_idempotent_for_common_cases(self, word):
+        # One pass then a second pass: the second pass may strip again
+        # (light stemmers are not guaranteed idempotent in general), but
+        # the result must always be a non-empty prefix-derived string.
+        once = self.stemmer.stem(word)
+        assert once
+        assert len(once) <= len(word) + 2  # replacements may add chars
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=4, max_size=20))
+    def test_stem_never_shorter_than_minimum(self, word):
+        assert len(self.stemmer.stem(word)) >= self.stemmer.min_stem_length

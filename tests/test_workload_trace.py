@@ -1,0 +1,89 @@
+"""Tests for trace-driven arrivals."""
+
+import numpy as np
+import pytest
+
+from repro.workload.trace import TraceArrivals, save_trace
+
+
+@pytest.fixture()
+def simple_trace():
+    return TraceArrivals([0.0, 0.1, 0.3, 0.6])
+
+
+class TestTraceArrivals:
+    def test_replays_exactly(self, simple_trace, rng):
+        times = simple_trace.arrival_times(3, rng)
+        assert list(times) == [0.0, 0.1, 0.3]
+
+    def test_rng_is_irrelevant(self, simple_trace):
+        a = simple_trace.arrival_times(4, np.random.default_rng(1))
+        b = simple_trace.arrival_times(4, np.random.default_rng(99))
+        assert np.array_equal(a, b)
+
+    def test_looping_extends_without_burst(self, simple_trace, rng):
+        times = simple_trace.arrival_times(8, rng)
+        assert times.size == 8
+        assert np.all(np.diff(times) >= 0)
+        # Second pass starts one mean gap after the first pass ends.
+        assert times[4] > times[3]
+
+    def test_loop_disabled_raises(self, rng):
+        trace = TraceArrivals([0.0, 1.0], loop=False)
+        with pytest.raises(ValueError, match="looping is disabled"):
+            trace.arrival_times(5, rng)
+
+    def test_rate_scale_compresses_time(self, rng):
+        base = TraceArrivals([0.0, 1.0, 2.0])
+        fast = TraceArrivals([0.0, 1.0, 2.0], rate_scale=2.0)
+        assert fast.arrival_times(3, rng)[-1] == pytest.approx(
+            base.arrival_times(3, rng)[-1] / 2.0
+        )
+        assert fast.mean_rate == pytest.approx(2 * base.mean_rate)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceArrivals([])
+        with pytest.raises(ValueError):
+            TraceArrivals([1.0, 0.5])
+        with pytest.raises(ValueError):
+            TraceArrivals([-1.0, 0.0])
+        with pytest.raises(ValueError):
+            TraceArrivals([0.0], rate_scale=0.0)
+
+    def test_file_roundtrip(self, tmp_path, rng):
+        path = tmp_path / "trace.txt"
+        original = [0.0, 0.25, 0.75, 1.5]
+        assert save_trace(original, path) == 4
+        loaded = TraceArrivals.from_file(path)
+        assert np.allclose(loaded.arrival_times(4, rng), original)
+
+    def test_file_comments_and_blanks_skipped(self, tmp_path, rng):
+        path = tmp_path / "trace.txt"
+        path.write_text("# header\n\n0.5\n1.5\n")
+        trace = TraceArrivals.from_file(path)
+        assert trace.trace_length == 2
+
+    def test_file_bad_line_reported(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("0.5\nnot-a-number\n")
+        with pytest.raises(ValueError, match="trace.txt:2"):
+            TraceArrivals.from_file(path)
+
+    def test_drives_a_simulation(self, rng):
+        """A trace plugs into the open-loop runner as an ArrivalProcess."""
+        from repro.cluster.simulation import ClusterConfig, run_open_loop
+        from repro.servers.catalog import BIG_SERVER
+        from repro.workload.scenario import WorkloadScenario
+        from repro.workload.servicetime import LognormalDemand
+
+        poisson_like = np.cumsum(
+            np.random.default_rng(0).exponential(0.01, 500)
+        )
+        scenario = WorkloadScenario(
+            arrivals=TraceArrivals(poisson_like),
+            demands=LognormalDemand(-5.0, 0.5),
+            num_queries=500,
+        )
+        result = run_open_loop(ClusterConfig(spec=BIG_SERVER), scenario)
+        assert len(result) == 500
