@@ -1,16 +1,30 @@
-"""F10 (ablation) — Partitioning benefit vs. per-partition overhead.
+"""F10 (ablation) — Partitioning benefit vs. per-partition overhead,
+plus the observability subsystem's own overhead.
 
-The design-choice ablation DESIGN.md calls out: the tail-latency win of
-partitioning depends on the per-partition overhead α.  We sweep α from
-zero to many times the calibrated value and report the p99 at P=1 vs
-P=8.  Shape: with small α partitioning is a large win; as α approaches
-the per-query demand the win erodes and eventually inverts.
+Two ablations share this file:
+
+1. The design-choice ablation DESIGN.md calls out: the tail-latency win
+   of partitioning depends on the per-partition overhead α.  We sweep α
+   from zero to many times the calibrated value and report the p99 at
+   P=1 vs P=8.  Shape: with small α partitioning is a large win; as α
+   approaches the per-query demand the win erodes and eventually
+   inverts.
+2. The *instrumentation* overhead ablation: per-query cost of the
+   serving path with no tracer (the seed configuration), a disabled
+   tracer, and an enabled tracer + metrics registry.  Tracing is off by
+   default, and the disabled path must stay within a few percent of the
+   uninstrumented one.
 """
 
 from dataclasses import replace
 
+import numpy as np
+
 from repro.core.partitioning import run_partitioning_sweep
-from repro.core.reporting import format_series
+from repro.core.reporting import format_series, format_table
+from repro.engine.isn import IndexServingNode
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import Tracer
 from repro.servers.catalog import BIG_SERVER
 
 ALPHA_SCALES = [0.0, 1.0, 4.0, 16.0, 64.0]
@@ -69,3 +83,81 @@ def test_fig10_overhead_ablation(benchmark, demand_model, cost_model, emit):
     assert speedups[-1] < speedups[0]
     # ...and at extreme overhead partitioning stops helping.
     assert speedups[-1] < 1.1
+
+
+def test_fig10_tracing_overhead(benchmark, service, emit):
+    """Per-query cost of span tracing: absent vs. disabled vs. enabled.
+
+    Each configuration replays the same query batch on a fresh ISN over
+    the shared reference index.  Rounds are *interleaved* across the
+    configurations, so every round yields a back-to-back overhead ratio
+    in which clock-speed drift largely cancels; the best round is the
+    cleanest look at the true per-query cost.
+    """
+    import time
+
+    rng = np.random.default_rng(5)
+    texts = [q.text for q in service.query_log.sample_stream(40, rng)]
+
+    def replay_batch(isn):
+        for text in texts:
+            isn.execute_serial(text)
+
+    def run_all(rounds=9):
+        nodes = {
+            "no tracer (seed path)": IndexServingNode(service.partitioned),
+            "tracer disabled": IndexServingNode(
+                service.partitioned, tracer=Tracer(enabled=False)
+            ),
+            "tracer + metrics enabled": IndexServingNode(
+                service.partitioned,
+                tracer=Tracer(enabled=True),
+                metrics=MetricsRegistry(),
+            ),
+        }
+        samples = {name: [] for name in nodes}
+        try:
+            for isn in nodes.values():
+                replay_batch(isn)  # warm-up
+            for _ in range(rounds):
+                for name, isn in nodes.items():
+                    start = time.perf_counter()
+                    replay_batch(isn)
+                    samples[name].append(time.perf_counter() - start)
+        finally:
+            for isn in nodes.values():
+                isn.close()
+        return samples
+
+    samples = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    per_query = {
+        name: min(rounds) / len(texts) for name, rounds in samples.items()
+    }
+    baseline_rounds = samples["no tracer (seed path)"]
+
+    def best_ratio(name):
+        """Best same-round ratio vs. baseline (common-mode noise cancels)."""
+        return min(
+            observed / base
+            for observed, base in zip(samples[name], baseline_rounds)
+        )
+
+    baseline = per_query["no tracer (seed path)"]
+    emit(
+        "fig10_tracing_overhead",
+        format_table(
+            ["configuration", "per_query_ms", "overhead_pct"],
+            [
+                [name, seconds * 1000, (seconds / baseline - 1.0) * 100]
+                for name, seconds in per_query.items()
+            ],
+            title="F10b: per-query tracing overhead (min of 9 interleaved rounds, 40 queries)",
+        ),
+    )
+
+    # Off-by-default contract: a disabled tracer costs one branch per
+    # query, so its cleanest round must sit within 2% of the seed path.
+    assert best_ratio("tracer disabled") <= 1.02
+    # Even fully enabled, tracing + counters must stay a modest tax.
+    assert best_ratio("tracer + metrics enabled") <= 1.25

@@ -6,6 +6,11 @@ variants that normalize identically ("Web Search" / "web searching")
 share one entry — exactly how search front-ends key their caches.
 The index is immutable in this benchmark, so entries never go stale
 and no invalidation protocol is needed.
+
+When constructed with a :class:`~repro.obs.registry.MetricsRegistry`,
+every lookup and eviction updates the run-level ``cache.hits`` /
+``cache.misses`` / ``cache.evictions`` counters in addition to the
+cache's own :class:`CacheStats`.
 """
 
 from __future__ import annotations
@@ -13,6 +18,7 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 from repro.cache.lru import CacheStats, LRUCache
+from repro.obs.registry import MetricsRegistry
 from repro.search.query import ParsedQuery
 from repro.search.topk import SearchHit
 
@@ -27,10 +33,13 @@ def make_cache_key(query: ParsedQuery) -> CacheKey:
 class QueryResultCache:
     """LRU cache of result pages, keyed by normalized query."""
 
-    def __init__(self, capacity: int):
+    def __init__(
+        self, capacity: int, metrics: Optional[MetricsRegistry] = None
+    ):
         self._cache: LRUCache[CacheKey, Tuple[SearchHit, ...]] = LRUCache(
             capacity
         )
+        self._metrics = metrics
 
     def __len__(self) -> int:
         return len(self._cache)
@@ -42,11 +51,20 @@ class QueryResultCache:
 
     def lookup(self, query: ParsedQuery) -> Optional[Tuple[SearchHit, ...]]:
         """Return the cached page for ``query`` or None on miss."""
-        return self._cache.get(make_cache_key(query))
+        page = self._cache.get(make_cache_key(query))
+        if self._metrics is not None:
+            name = "cache.hits" if page is not None else "cache.misses"
+            self._metrics.counter(name).add()
+        return page
 
     def store(self, query: ParsedQuery, hits: Tuple[SearchHit, ...]) -> None:
         """Cache the result page for ``query``."""
+        evictions_before = self._cache.stats.evictions
         self._cache.put(make_cache_key(query), tuple(hits))
+        if self._metrics is not None:
+            evicted = self._cache.stats.evictions - evictions_before
+            if evicted:
+                self._metrics.counter("cache.evictions").add(evicted)
 
     def clear(self) -> None:
         """Drop every cached page."""

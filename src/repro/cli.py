@@ -10,7 +10,8 @@ fast default configurations:
 - ``capacity`` — QoS-bounded max throughput vs. partitions (F5);
 - ``cache`` — result-cache hit rates (F11a);
 - ``profile-log`` — workload-side characterization of the query log;
-- ``report`` — full Markdown characterization report.
+- ``report`` — full Markdown characterization report;
+- ``trace`` — run one query with tracing on and print its span tree.
 
 Every command accepts ``--docs``/``--seed`` to scale and reseed.
 """
@@ -246,6 +247,54 @@ def cmd_profile_log(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.metrics.export import export_registry_csv
+    from repro.obs.export import export_trace_jsonl, format_span_tree
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.tracing import Tracer
+
+    tracer = Tracer(enabled=True)
+    registry = MetricsRegistry()
+    config = SearchServiceConfig(
+        corpus=CorpusConfig(
+            num_documents=args.docs,
+            vocabulary=VocabularyConfig(size=max(2_000, args.docs * 5)),
+            mean_length=150,
+            seed=args.seed,
+        ),
+        query_log=QueryLogConfig(
+            num_unique_queries=min(500, max(50, args.docs // 10)),
+            seed=args.seed + 1,
+        ),
+        num_partitions=args.partitions,
+    )
+    with SearchService(config, tracer=tracer, metrics=registry) as service:
+        query = args.query or next(iter(service.query_log)).text
+        response = service.search(query, k=args.k)
+    print(f"query: {query!r} -> {len(response.hits)} hits")
+    print()
+    print(format_span_tree(response.trace))
+    print()
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                [name, entry["value"]]
+                for name, entry in registry.snapshot().items()
+                if entry["type"] == "counter"
+            ],
+            title="Serving-path counters",
+        )
+    )
+    if args.jsonl:
+        lines = export_trace_jsonl(tracer.traces, args.jsonl)
+        print(f"\n{lines} spans written to {args.jsonl}")
+    if args.metrics_csv:
+        rows = export_registry_csv(registry, args.metrics_csv)
+        print(f"{rows} metric rows written to {args.metrics_csv}")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.core.report import ReportOptions, characterization_report
 
@@ -319,6 +368,21 @@ def build_parser() -> argparse.ArgumentParser:
         "profile-log", help="workload characterization of the query log"
     )
     profile.set_defaults(handler=cmd_profile_log)
+
+    trace = subparsers.add_parser(
+        "trace", help="trace one query end-to-end and print its span tree"
+    )
+    trace.add_argument(
+        "query", nargs="?", default=None,
+        help="query text (default: the generated log's first query)",
+    )
+    trace.add_argument("--partitions", type=int, default=4)
+    trace.add_argument("--k", type=int, default=10)
+    trace.add_argument("--jsonl", default=None,
+                       help="also export the trace as JSON-lines")
+    trace.add_argument("--metrics-csv", default=None,
+                       help="also export the metrics registry as CSV")
+    trace.set_defaults(handler=cmd_trace)
 
     report = subparsers.add_parser(
         "report", help="full Markdown characterization report"

@@ -11,10 +11,11 @@ class supports multi-ISN deployments for the cluster examples.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from repro.engine.isn import IndexServingNode, IsnResponse
+from repro.obs.tracing import NULL_TRACER, Span, Tracer
 from repro.search.merger import merge_shard_results
 from repro.search.query import DEFAULT_TOP_K, QueryMode
 from repro.search.topk import SearchHit
@@ -27,6 +28,7 @@ class FrontendResponse:
     hits: Tuple[SearchHit, ...]
     isn_responses: Tuple[IsnResponse, ...]
     total_seconds: float
+    trace: Optional[Span] = field(default=None, compare=False)
 
     def doc_ids(self) -> List[int]:
         """Global doc ids of the final page, best first."""
@@ -54,12 +56,17 @@ class Frontend:
         is the cluster-global doc id of ISN ``i``'s document ``local``.
         Required for more than one ISN — each node numbers its documents
         from zero, so merging without translation would collide ids.
+    tracer:
+        Optional span tracer.  When enabled, every query emits a
+        ``frontend.execute`` root span; ISNs constructed with the same
+        tracer nest their ``isn.execute`` span trees under it.
     """
 
     def __init__(
         self,
         isns: Sequence[IndexServingNode],
         global_id_maps: Optional[Sequence[Sequence[int]]] = None,
+        tracer: Optional[Tracer] = None,
     ):
         if not isns:
             raise ValueError("frontend needs at least one index serving node")
@@ -73,6 +80,7 @@ class Frontend:
                 f"got {len(global_id_maps)} id maps for {len(isns)} ISNs"
             )
         self._isns = list(isns)
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         self._id_maps = (
             [list(id_map) for id_map in global_id_maps]
             if global_id_maps is not None
@@ -92,18 +100,26 @@ class Frontend:
     ) -> FrontendResponse:
         """Answer ``text``: broadcast, gather, merge."""
         start = time.perf_counter()
-        responses = [isn.execute(text, k=k, mode=mode) for isn in self._isns]
-        hits = merge_shard_results(
-            [
-                self._to_global(isn_index, response.hits)
-                for isn_index, response in enumerate(responses)
-            ],
-            k=k,
-        )
+        tracer = self._tracer
+        with tracer.span(
+            "frontend.execute", query=text, num_isns=len(self._isns)
+        ) as root:
+            responses = [
+                isn.execute(text, k=k, mode=mode) for isn in self._isns
+            ]
+            with tracer.span("frontend.merge"):
+                hits = merge_shard_results(
+                    [
+                        self._to_global(isn_index, response.hits)
+                        for isn_index, response in enumerate(responses)
+                    ],
+                    k=k,
+                )
         return FrontendResponse(
             hits=tuple(hits),
             isn_responses=tuple(responses),
             total_seconds=time.perf_counter() - start,
+            trace=root if isinstance(root, Span) else None,
         )
 
     def _to_global(

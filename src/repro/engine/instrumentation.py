@@ -4,7 +4,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracing import Span
 
 
 class Timer:
@@ -26,8 +29,11 @@ class Timer:
         return self
 
     def __exit__(self, *exc_info) -> None:
-        if self._start is None:  # pragma: no cover - defensive
-            raise RuntimeError("Timer exited without entering")
+        # Exiting without entering leaves elapsed at 0.0 instead of
+        # raising: ``__exit__`` runs while a body exception may be
+        # propagating, and raising here would mask it.
+        if self._start is None:
+            return
         self.elapsed = time.perf_counter() - self._start
 
 
@@ -53,7 +59,44 @@ class ComponentTimings:
 
     @property
     def skew_seconds(self) -> float:
-        """Slowest minus fastest shard time — the fork-join skew."""
-        if not self.shard_seconds:
+        """Slowest minus fastest shard time — the fork-join skew.
+
+        Skew needs at least two shards to compare; with zero or one
+        shard there is no straggler, so the skew is defined as 0.0.
+        """
+        if len(self.shard_seconds) < 2:
             return 0.0
         return max(self.shard_seconds) - min(self.shard_seconds)
+
+    @classmethod
+    def from_span(cls, root: "Span") -> "ComponentTimings":
+        """Derive the breakdown from an ``isn.execute`` span tree.
+
+        The ISN records spans with the exact timestamps its direct
+        measurements use, so the values produced here equal the legacy
+        directly-constructed timings bit-for-bit.  Component spans the
+        tree lacks (e.g. no ``fanout`` on a cache hit) contribute 0.0.
+        """
+        parse_seconds = 0.0
+        fanout_seconds = 0.0
+        merge_seconds = 0.0
+        shard_seconds: List[float] = []
+        for child in root.children:
+            if child.name == "parse":
+                parse_seconds = child.duration
+            elif child.name == "fanout":
+                fanout_seconds = child.duration
+                shard_seconds = [
+                    grandchild.duration
+                    for grandchild in child.children
+                    if grandchild.name == "shard"
+                ]
+            elif child.name == "merge":
+                merge_seconds = child.duration
+        return cls(
+            parse_seconds=parse_seconds,
+            shard_seconds=shard_seconds,
+            fanout_seconds=fanout_seconds,
+            merge_seconds=merge_seconds,
+            total_seconds=root.duration,
+        )

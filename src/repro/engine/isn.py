@@ -4,17 +4,27 @@ The ISN owns a partitioned index and answers queries by fanning out to
 all partitions — in parallel on a thread pool (the benchmark's
 behaviour) or serially (for noise-free service-time characterization) —
 and merging the shard top-k lists.
+
+When constructed with a :class:`~repro.obs.tracing.Tracer`, every query
+emits a span tree (``isn.execute`` → ``parse``/``fanout``/``shard``/
+``merge``) whose timestamps are the same measurements the response's
+:class:`ComponentTimings` is built from — with tracing enabled the
+timings *are* derived from the spans, so the two views cannot drift.
+A :class:`~repro.obs.registry.MetricsRegistry` adds per-run counters
+(queries served, postings traversed, cache outcomes).
 """
 
 from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.engine.instrumentation import ComponentTimings
 from repro.index.partitioner import PartitionedIndex
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import Span, Tracer
 from repro.search.executor import ShardSearcher
 from repro.search.global_stats import global_scorer_factory
 from repro.search.merger import merge_shard_results
@@ -29,6 +39,7 @@ class IsnResponse:
     hits: Tuple[SearchHit, ...]
     timings: ComponentTimings
     matched_volume: int
+    trace: Optional[Span] = field(default=None, compare=False)
 
     def doc_ids(self) -> List[int]:
         """Global doc ids of the hits, best first."""
@@ -54,6 +65,11 @@ class IndexServingNode:
         Optional result-page cache consulted by :meth:`execute` before
         the partition fan-out.  :meth:`execute_serial` bypasses it —
         characterization and calibration need raw service times.
+    tracer:
+        Optional span tracer.  None (the default) keeps the serving
+        path span-free; a disabled tracer costs one branch per query.
+    metrics:
+        Optional metrics registry for serving-path counters.
     """
 
     def __init__(
@@ -63,14 +79,23 @@ class IndexServingNode:
         algorithm: str = "daat",
         use_global_stats: bool = True,
         cache: Optional["QueryResultCache"] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.partitioned = partitioned
         self.cache = cache
+        self._tracer = tracer
+        self._metrics = metrics
         scorer_factory = (
             global_scorer_factory(partitioned) if use_global_stats else None
         )
         self._searchers = [
-            ShardSearcher(shard, algorithm=algorithm, scorer_factory=scorer_factory)
+            ShardSearcher(
+                shard,
+                algorithm=algorithm,
+                scorer_factory=scorer_factory,
+                metrics=metrics,
+            )
             for shard in partitioned
         ]
         analyzer = partitioned[0].index.analyzer
@@ -90,6 +115,10 @@ class IndexServingNode:
         """Partition count of the served index."""
         return self.partitioned.num_partitions
 
+    @property
+    def _tracing(self) -> bool:
+        return self._tracer is not None and self._tracer.enabled
+
     def execute(
         self,
         text: str,
@@ -102,18 +131,13 @@ class IndexServingNode:
 
         parse_start = time.perf_counter()
         query = self._parser.parse(text, mode=mode, k=k)
-        parse_seconds = time.perf_counter() - parse_start
+        parse_end = time.perf_counter()
 
         if self.cache is not None:
             cached = self.cache.lookup(query)
             if cached is not None:
-                return IsnResponse(
-                    hits=cached,
-                    timings=ComponentTimings(
-                        parse_seconds=parse_seconds,
-                        total_seconds=time.perf_counter() - total_start,
-                    ),
-                    matched_volume=0,
+                return self._respond_from_cache(
+                    text, cached, total_start, parse_start, parse_end
                 )
 
         fanout_start = time.perf_counter()
@@ -122,10 +146,11 @@ class IndexServingNode:
             for searcher in self._searchers
         ]
         shard_outputs = [future.result() for future in futures]
-        fanout_seconds = time.perf_counter() - fanout_start
+        fanout_end = time.perf_counter()
 
         response = self._assemble(
-            query, shard_outputs, parse_seconds, fanout_seconds, total_start
+            text, query, shard_outputs,
+            parse_start, parse_end, fanout_start, fanout_end, total_start,
         )
         if self.cache is not None:
             self.cache.store(query, response.hits)
@@ -148,16 +173,17 @@ class IndexServingNode:
 
         parse_start = time.perf_counter()
         query = self._parser.parse(text, mode=mode, k=k)
-        parse_seconds = time.perf_counter() - parse_start
+        parse_end = time.perf_counter()
 
         fanout_start = time.perf_counter()
         shard_outputs = [
             self._search_shard(searcher, query) for searcher in self._searchers
         ]
-        fanout_seconds = time.perf_counter() - fanout_start
+        fanout_end = time.perf_counter()
 
         return self._assemble(
-            query, shard_outputs, parse_seconds, fanout_seconds, total_start
+            text, query, shard_outputs,
+            parse_start, parse_end, fanout_start, fanout_end, total_start,
         )
 
     def close(self) -> None:
@@ -178,34 +204,127 @@ class IndexServingNode:
 
     @staticmethod
     def _search_shard(searcher: ShardSearcher, query: ParsedQuery):
+        """Search one shard; returns (result, start, end) timestamps."""
         start = time.perf_counter()
         result = searcher.search(query)
-        return result, time.perf_counter() - start
+        return result, start, time.perf_counter()
+
+    def _respond_from_cache(
+        self,
+        text: str,
+        cached: Tuple[SearchHit, ...],
+        total_start: float,
+        parse_start: float,
+        parse_end: float,
+    ) -> IsnResponse:
+        if self._metrics is not None:
+            self._metrics.counter("isn.queries").add()
+        total_end = time.perf_counter()
+        trace = None
+        if self._tracing:
+            trace = self._tracer.record_span(
+                "isn.execute", start=total_start, end=total_end,
+                query=text, cached=True,
+            )
+            self._tracer.record_span(
+                "parse", start=parse_start, end=parse_end, parent=trace
+            )
+            timings = ComponentTimings.from_span(trace)
+        else:
+            timings = ComponentTimings(
+                parse_seconds=parse_end - parse_start,
+                total_seconds=total_end - total_start,
+            )
+        return IsnResponse(
+            hits=cached, timings=timings, matched_volume=0, trace=trace
+        )
 
     def _assemble(
         self,
+        text: str,
         query: ParsedQuery,
         shard_outputs,
-        parse_seconds: float,
-        fanout_seconds: float,
+        parse_start: float,
+        parse_end: float,
+        fanout_start: float,
+        fanout_end: float,
         total_start: float,
     ) -> IsnResponse:
         merge_start = time.perf_counter()
         hits = merge_shard_results(
-            [result.hits for result, _ in shard_outputs], k=query.k
+            [result.hits for result, _, _ in shard_outputs], k=query.k
         )
-        merge_seconds = time.perf_counter() - merge_start
+        merge_end = time.perf_counter()
+        total_end = time.perf_counter()
 
-        timings = ComponentTimings(
-            parse_seconds=parse_seconds,
-            shard_seconds=[seconds for _, seconds in shard_outputs],
-            fanout_seconds=fanout_seconds,
-            merge_seconds=merge_seconds,
-            total_seconds=time.perf_counter() - total_start,
-        )
         matched_volume = sum(
-            result.matched_volume for result, _ in shard_outputs
+            result.matched_volume for result, _, _ in shard_outputs
         )
+        if self._metrics is not None:
+            self._metrics.counter("isn.queries").add()
+            self._metrics.histogram("isn.service_seconds").observe(
+                total_end - total_start
+            )
+
+        trace = None
+        if self._tracing:
+            trace = self._record_trace(
+                text, query, shard_outputs,
+                parse_start, parse_end, fanout_start, fanout_end,
+                merge_start, merge_end, total_start, total_end,
+            )
+            timings = ComponentTimings.from_span(trace)
+        else:
+            timings = ComponentTimings(
+                parse_seconds=parse_end - parse_start,
+                shard_seconds=[end - start for _, start, end in shard_outputs],
+                fanout_seconds=fanout_end - fanout_start,
+                merge_seconds=merge_end - merge_start,
+                total_seconds=total_end - total_start,
+            )
         return IsnResponse(
-            hits=tuple(hits), timings=timings, matched_volume=matched_volume
+            hits=tuple(hits),
+            timings=timings,
+            matched_volume=matched_volume,
+            trace=trace,
         )
+
+    def _record_trace(
+        self,
+        text: str,
+        query: ParsedQuery,
+        shard_outputs,
+        parse_start: float,
+        parse_end: float,
+        fanout_start: float,
+        fanout_end: float,
+        merge_start: float,
+        merge_end: float,
+        total_start: float,
+        total_end: float,
+    ) -> Span:
+        tracer = self._tracer
+        root = tracer.record_span(
+            "isn.execute", start=total_start, end=total_end,
+            query=text, k=query.k, mode=query.mode.value,
+            num_partitions=self.num_partitions,
+        )
+        tracer.record_span(
+            "parse", start=parse_start, end=parse_end, parent=root,
+            num_terms=len(query.terms),
+        )
+        fanout = tracer.record_span(
+            "fanout", start=fanout_start, end=fanout_end, parent=root
+        )
+        for shard_index, (result, start, end) in enumerate(shard_outputs):
+            tracer.record_span(
+                "shard", start=start, end=end, parent=fanout,
+                shard=shard_index,
+                postings_scanned=result.matched_volume,
+                num_hits=len(result.hits),
+            )
+        tracer.record_span(
+            "merge", start=merge_start, end=merge_end, parent=root,
+            num_shards=len(shard_outputs),
+        )
+        return root

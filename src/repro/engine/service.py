@@ -20,6 +20,8 @@ from repro.index.partitioner import (
     partition_index,
 )
 from repro.index.positional import PositionalIndex, PositionalIndexBuilder
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.search.phrase import parse_phrase, score_phrase
 from repro.search.query import DEFAULT_TOP_K, QueryMode
 from repro.search.topk import SearchHit
@@ -54,15 +56,24 @@ class SearchServiceConfig:
 
 
 class SearchService:
-    """A fully assembled, queryable web-search benchmark instance."""
+    """A fully assembled, queryable web-search benchmark instance.
+
+    ``tracer``/``metrics`` are forwarded to the index serving node so
+    the whole serving path shares one trace collector and one counter
+    registry; both default to off/absent.
+    """
 
     def __init__(
         self,
         config: SearchServiceConfig,
         analyzer: Optional[Analyzer] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.config = config
         self.analyzer = analyzer or default_analyzer()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
 
         generator = CorpusGenerator(config.corpus)
         self.collection = generator.generate()
@@ -77,6 +88,8 @@ class SearchService:
             num_threads=config.num_threads,
             algorithm=config.algorithm,
             use_global_stats=config.use_global_stats,
+            tracer=tracer,
+            metrics=metrics,
         )
         self.query_log: QueryLog = QueryLogGenerator(
             generator.vocabulary, config.query_log
@@ -117,19 +130,21 @@ class SearchService:
         query-highlighted snippet — the complete response the
         benchmark's frontend returns to clients.
         """
-        response = self.isn.execute(text, k=k, mode=mode)
-        terms = list(self.analyzer.analyze(text))
-        page: List[ResultPageEntry] = []
-        for hit in response.hits:
-            document = self.collection[hit.doc_id]
-            page.append(
-                ResultPageEntry(
-                    hit=hit,
-                    url=document.url,
-                    title=document.title,
-                    snippet=self._snippets.snippet(document, terms),
-                )
-            )
+        with self.tracer.span("search_page", query=text):
+            response = self.isn.execute(text, k=k, mode=mode)
+            terms = list(self.analyzer.analyze(text))
+            page: List[ResultPageEntry] = []
+            with self.tracer.span("snippets", num_hits=len(response.hits)):
+                for hit in response.hits:
+                    document = self.collection[hit.doc_id]
+                    page.append(
+                        ResultPageEntry(
+                            hit=hit,
+                            url=document.url,
+                            title=document.title,
+                            snippet=self._snippets.snippet(document, terms),
+                        )
+                    )
         return page
 
     def search_phrase(

@@ -7,7 +7,11 @@ log-binned histograms/CDFs (:mod:`histogram`), and the summary record
 used across studies and benchmarks (:mod:`summary`).
 """
 
-from repro.metrics.export import export_measurements_csv, export_simulation_csv
+from repro.metrics.export import (
+    export_measurements_csv,
+    export_registry_csv,
+    export_simulation_csv,
+)
 from repro.metrics.histogram import Histogram, cdf_points
 from repro.metrics.latency import LatencyRecorder
 from repro.metrics.summary import LatencySummary, summarize
@@ -22,4 +26,5 @@ __all__ = [
     "ThroughputTracker",
     "export_simulation_csv",
     "export_measurements_csv",
+    "export_registry_csv",
 ]

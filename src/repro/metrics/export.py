@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Sequence, Union
 if TYPE_CHECKING:  # imported lazily at runtime: cluster depends on metrics
     from repro.cluster.results import SimulationResult
     from repro.engine.driver import QueryMeasurement
+    from repro.obs.registry import MetricsRegistry
 
 PathLike = Union[str, Path]
 
@@ -45,6 +46,8 @@ MEASUREMENT_COLUMNS = (
     "num_hits",
 )
 
+REGISTRY_COLUMNS = ("metric", "type", "field", "value")
+
 
 def export_simulation_csv(result: "SimulationResult", path: PathLike) -> int:
     """Write one row per simulated query; returns rows written."""
@@ -65,6 +68,22 @@ def export_simulation_csv(result: "SimulationResult", path: PathLike) -> int:
                 ]
             )
     return len(result.records)
+
+
+def export_registry_csv(registry: "MetricsRegistry", path: PathLike) -> int:
+    """Write a metrics-registry snapshot as CSV; returns rows written.
+
+    Counters and gauges emit one ``value`` row; histograms emit
+    ``count``, ``sum``, and cumulative ``le_<edge>`` bucket rows (see
+    :meth:`repro.obs.registry.MetricsRegistry.as_rows`).
+    """
+    rows = registry.as_rows()
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(REGISTRY_COLUMNS)
+        for metric, kind, field, value in rows:
+            writer.writerow([metric, kind, field, value])
+    return len(rows)
 
 
 def export_measurements_csv(

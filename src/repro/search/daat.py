@@ -11,12 +11,15 @@ characterization (and our simulator calibration) relies on.
 from __future__ import annotations
 
 import heapq
-from typing import List, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.index.inverted import InvertedIndex
 from repro.search.query import ParsedQuery, QueryMode
 from repro.search.scoring import BM25Scorer, Scorer, resolve_idf
 from repro.search.topk import SearchHit, TopKHeap
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
 
 
 class _Cursor:
@@ -50,11 +53,14 @@ def score_daat(
     index: InvertedIndex,
     query: ParsedQuery,
     scorer: Scorer | None = None,
+    metrics: Optional["MetricsRegistry"] = None,
 ) -> List[SearchHit]:
     """Evaluate ``query`` over ``index`` document-at-a-time.
 
     Returns the top-k hits (best first).  ``scorer`` defaults to BM25
-    with the index's collection statistics.
+    with the index's collection statistics.  With ``metrics``, the
+    traversal's postings/candidate/heap-offer totals are added to the
+    registry once after the loop, so the inner loop stays registry-free.
     """
     if query.is_empty:
         return []
@@ -82,11 +88,14 @@ def score_daat(
         for cursor_index, cursor in enumerate(cursors)
     ]
     heapq.heapify(frontier)
+    candidates = 0
+    offers = 0
 
     while frontier:
         doc_id = frontier[0][0]
         score = 0.0
         matched = 0
+        candidates += 1
         # Pop every cursor positioned on doc_id, score, and re-push.
         while frontier and frontier[0][0] == doc_id:
             _, cursor_index = heapq.heappop(frontier)
@@ -100,7 +109,14 @@ def score_daat(
                 heapq.heappush(frontier, (cursor.current, cursor_index))
         if matched >= required:
             heap.offer(doc_id, score)
+            offers += 1
 
+    if metrics is not None:
+        metrics.counter("daat.postings_traversed").add(
+            sum(cursor.position for cursor in cursors)
+        )
+        metrics.counter("daat.candidates_scored").add(candidates)
+        metrics.counter("daat.heap_offers").add(offers)
     return heap.results()
 
 

@@ -7,6 +7,7 @@ from typing import Callable, List, Optional, Tuple, Union
 
 from repro.index.inverted import InvertedIndex
 from repro.index.partitioner import IndexShard
+from repro.obs.registry import MetricsRegistry
 from repro.search.daat import score_daat
 from repro.search.query import DEFAULT_TOP_K, ParsedQuery, QueryMode, QueryParser
 from repro.search.scoring import BM25Scorer, Scorer
@@ -61,11 +62,16 @@ class Searcher:
     scorer_factory:
         Builds the scorer from the index; defaults to BM25 with the
         index's collection statistics.
+    metrics:
+        Optional registry for per-query counters (queries evaluated,
+        postings scanned, traversal heap operations).  None — the
+        default — keeps the hot path counter-free.
     """
 
     index: InvertedIndex
     algorithm: str = "daat"
     scorer_factory: Optional[Callable[[InvertedIndex], Scorer]] = None
+    metrics: Optional[MetricsRegistry] = None
     _parser: QueryParser = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -97,13 +103,17 @@ class Searcher:
         if self.algorithm == "taat":
             hits = score_taat(self.index, query, scorer)
         elif self.algorithm == "wand":
-            hits = score_wand(self.index, query, scorer)
+            hits = score_wand(self.index, query, scorer, metrics=self.metrics)
         else:
-            hits = score_daat(self.index, query, scorer)
+            hits = score_daat(self.index, query, scorer, metrics=self.metrics)
+        matched_volume = self.index.matched_postings_volume(list(query.terms))
+        if self.metrics is not None:
+            self.metrics.counter("search.queries").add()
+            self.metrics.counter("search.postings_scanned").add(matched_volume)
         return SearchResult(
             hits=tuple(hits),
             query=query,
-            matched_volume=self.index.matched_postings_volume(list(query.terms)),
+            matched_volume=matched_volume,
         )
 
     def _make_scorer(self) -> Scorer:
@@ -126,6 +136,7 @@ class ShardSearcher:
     shard: IndexShard
     algorithm: str = "daat"
     scorer_factory: Optional[Callable[[InvertedIndex], Scorer]] = None
+    metrics: Optional[MetricsRegistry] = None
     _searcher: Searcher = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -133,6 +144,7 @@ class ShardSearcher:
             index=self.shard.index,
             algorithm=self.algorithm,
             scorer_factory=self.scorer_factory,
+            metrics=self.metrics,
         )
 
     def search(

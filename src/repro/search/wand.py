@@ -14,12 +14,15 @@ reproduction:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.index.inverted import InvertedIndex
 from repro.search.query import ParsedQuery, QueryMode
 from repro.search.scoring import BM25Scorer, resolve_idf
 from repro.search.topk import SearchHit, TopKHeap
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
 
 
 class _WandCursor:
@@ -60,11 +63,14 @@ def score_wand(
     index: InvertedIndex,
     query: ParsedQuery,
     scorer: Optional[BM25Scorer] = None,
+    metrics: Optional["MetricsRegistry"] = None,
 ) -> List[SearchHit]:
     """Evaluate a disjunctive query with WAND pruning.
 
     Only ``QueryMode.OR`` queries are supported (WAND is a disjunctive
-    algorithm; conjunctive queries already skip aggressively).
+    algorithm; conjunctive queries already skip aggressively).  With
+    ``metrics``, the number of fully-scored documents and of pivot
+    skips are added to the registry once per call.
     """
     if query.mode is not QueryMode.OR:
         raise ValueError("score_wand supports OR queries only")
@@ -91,6 +97,8 @@ def score_wand(
 
     heap = TopKHeap(query.k)
     doc_lengths = index.doc_lengths
+    docs_scored = 0
+    pivot_skips = 0
 
     while True:
         live = [cursor for cursor in cursors if not cursor.exhausted]
@@ -124,12 +132,17 @@ def score_wand(
                     cursor.idf,
                 )
             heap.offer(pivot_doc, score)
+            docs_scored += 1
             for cursor in live:
                 if cursor.current == pivot_doc:
                     cursor.seek(pivot_doc + 1)
         else:
             # Skip the leading cursors straight to the pivot document.
+            pivot_skips += 1
             for cursor in live[:pivot_index]:
                 cursor.seek(pivot_doc)
 
+    if metrics is not None:
+        metrics.counter("wand.docs_scored").add(docs_scored)
+        metrics.counter("wand.pivot_skips").add(pivot_skips)
     return heap.results()

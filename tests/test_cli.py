@@ -100,6 +100,45 @@ class TestCommands:
         assert "Query-log profile" in output
         assert "Term-count mix" in output
 
+    def test_trace(self, capsys):
+        assert main(FAST + ["trace", "--partitions", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "isn.execute" in output
+        assert "├─ parse" in output
+        assert "└─ merge" in output
+        assert "shard" in output
+        assert "Serving-path counters" in output
+        assert "isn.queries" in output
+
+    def test_trace_exports(self, capsys, tmp_path):
+        import csv
+        import json
+
+        jsonl = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.csv"
+        assert (
+            main(
+                FAST
+                + [
+                    "trace", "--partitions", "2",
+                    "--jsonl", str(jsonl),
+                    "--metrics-csv", str(metrics),
+                ]
+            )
+            == 0
+        )
+        spans = [json.loads(line) for line in jsonl.read_text().splitlines()]
+        assert spans[0]["name"] == "isn.execute"
+        assert spans[0]["parent_id"] is None
+        with open(metrics, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert any(row["metric"] == "isn.queries" for row in rows)
+
+    def test_trace_explicit_query(self, capsys):
+        assert main(FAST + ["trace", "benchmark search", "--k", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "'benchmark search'" in output
+
     def test_report_to_stdout(self, capsys):
         assert main(FAST + ["report", "--queries", "30"]) == 0
         output = capsys.readouterr().out

@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.servers",
     "repro.workload",
     "repro.metrics",
+    "repro.obs",
     "repro.analysis",
     "repro.cache",
     "repro.core",
