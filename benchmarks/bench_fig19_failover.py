@@ -46,7 +46,7 @@ def test_fig19_failover(benchmark, demand_model, cost_model, emit):
         (
             "least_outstanding+hedge",
             ReplicaSelection.LEAST_OUTSTANDING,
-            HedgeConfig(delay=2.0 * demand_model.mean_demand()),
+            HedgeConfig(delay_s=2.0 * demand_model.mean_demand()),
         ),
     ]
 

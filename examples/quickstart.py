@@ -4,43 +4,53 @@
 Builds a small synthetic corpus, indexes it into 4 intra-server
 partitions, and answers a few queries through the index serving node's
 parallel fan-out path — the full architecture of the benchmark in a
-dozen lines.
+dozen lines, entirely through the supported ``repro.api`` surface.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import CorpusConfig, QueryLogConfig, SearchService, VocabularyConfig
+from repro.api import (
+    CorpusConfig,
+    EngineConfig,
+    QueryLogConfig,
+    SearchEngine,
+    VocabularyConfig,
+)
 
 
 def main() -> None:
-    service = SearchService.build(
-        corpus=CorpusConfig(
-            num_documents=2_000,
-            vocabulary=VocabularyConfig(size=10_000),
-            mean_length=150,
-            seed=42,
-        ),
-        query_log=QueryLogConfig(num_unique_queries=200, seed=7),
-        num_partitions=4,
+    engine = SearchEngine(
+        EngineConfig(
+            corpus=CorpusConfig(
+                num_documents=2_000,
+                vocabulary=VocabularyConfig(size=10_000),
+                mean_length=150,
+                seed=42,
+            ),
+            query_log=QueryLogConfig(num_unique_queries=200, seed=7),
+            num_partitions=4,
+        )
     )
-    with service:
+    with engine:
+        service = engine.service
         print(
             f"Indexed {len(service.collection)} documents into "
-            f"{service.partitioned.num_partitions} partitions "
+            f"{engine.num_partitions} partitions "
             f"({service.partitioned[0].index.num_terms} terms in shard 0)\n"
         )
-        for query in list(service.query_log)[:5]:
-            response = service.search(query.text, k=3)
+        for query in list(engine.query_log)[:5]:
+            response = engine.search(query.text, k=3)
             timings = response.timings
             print(f"query: {query.text!r}")
             print(
                 f"  {len(response.hits)} hits in "
-                f"{timings.total_seconds * 1000:.2f} ms "
+                f"{response.latency_s * 1000:.2f} ms "
                 f"(slowest shard {timings.slowest_shard_seconds * 1000:.2f} ms, "
-                f"merge {timings.merge_seconds * 1000:.3f} ms)"
+                f"merge {timings.merge_seconds * 1000:.3f} ms, "
+                f"coverage {response.coverage:.0%})"
             )
             for hit in response.hits:
-                document = service.document(hit.doc_id)
+                document = engine.document(hit.doc_id)
                 print(f"    {hit.score:6.3f}  {document.url}  {document.title}")
             print()
 

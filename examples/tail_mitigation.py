@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """The tail-latency story, composed end to end.
 
-Walks the chain of tail sources and remedies this reproduction builds:
+Walks the chain of tail sources and remedies this reproduction builds,
+entirely through the supported ``repro.api`` surface:
 
 1. the *intrinsic* tail — some queries touch far more postings —
    which intra-server partitioning parallelizes away (the paper's
@@ -9,93 +10,99 @@ Walks the chain of tail sources and remedies this reproduction builds:
 2. the *pause* tail — JVM GC freezes all partitions at once — which
    partitioning cannot touch;
 3. the pause tail yields to *replication + hedging*: a second replica
-   is almost never paused at the same moment.
+   is almost never paused at the same moment;
+4. a *deadline* converts whatever tail remains into a small, explicit
+   coverage loss (partial results) instead of latency.
 
 Run:  python examples/tail_mitigation.py
 """
 
-from repro.cluster.replication import (
-    HedgeConfig,
-    ReplicaSelection,
-    ReplicatedClusterConfig,
-    run_replicated_open_loop,
+from repro.api import (
+    BIG_SERVER,
+    ClusterConfig,
+    ClusterModel,
+    HedgingPolicy,
+    HiccupConfig,
+    LognormalDemand,
+    PartitionModelConfig,
+    format_table,
 )
-from repro.cluster.server import PartitionModelConfig
-from repro.cluster.simulation import ClusterConfig, run_open_loop
-from repro.core.reporting import format_table
-from repro.servers.catalog import BIG_SERVER
-from repro.sim.hiccups import HiccupConfig
-from repro.workload.arrivals import PoissonArrivals
-from repro.workload.scenario import WorkloadScenario
-from repro.workload.servicetime import LognormalDemand
 
 DEMAND = LognormalDemand(mu=-4.6, sigma=0.8)  # mean ~14 ms, heavy tail
-COSTS = PartitionModelConfig(
-    partition_overhead=0.0004, merge_base=0.0002, merge_per_partition=0.0001
-)
 PAUSES = HiccupConfig(mean_interval=1.0, pause_duration=0.03)
 RATE = 120.0
 QUERIES = 8_000
 
 
-def single_server(num_partitions, hiccups):
-    config = ClusterConfig(
-        spec=BIG_SERVER,
-        partitioning=PartitionModelConfig(
-            num_partitions=num_partitions,
-            partition_overhead=COSTS.partition_overhead,
-            merge_base=COSTS.merge_base,
-            merge_per_partition=COSTS.merge_per_partition,
-        ),
-        hiccups=hiccups,
+def costs(num_partitions: int) -> PartitionModelConfig:
+    return PartitionModelConfig(
+        num_partitions=num_partitions,
+        partition_overhead=0.0004,
+        merge_base=0.0002,
+        merge_per_partition=0.0001,
     )
-    scenario = WorkloadScenario(
-        arrivals=PoissonArrivals(RATE), demands=DEMAND, num_queries=QUERIES
-    )
-    return run_open_loop(config, scenario, seed=0).summary(0.1)
 
 
-def replicated(hedge):
-    config = ReplicatedClusterConfig(
-        num_shards=1,
-        replicas=2,
-        spec=BIG_SERVER,
-        partitioning=PartitionModelConfig(
-            num_partitions=8,
-            partition_overhead=COSTS.partition_overhead,
-            merge_base=COSTS.merge_base,
-            merge_per_partition=COSTS.merge_per_partition,
-        ),
-        selection=ReplicaSelection.LEAST_OUTSTANDING,
-        hedge=hedge,
-        hiccups=PAUSES,
+def run(**overrides):
+    model = ClusterModel(
+        ClusterConfig(num_servers=1, spec=BIG_SERVER, **overrides)
     )
-    scenario = WorkloadScenario(
-        arrivals=PoissonArrivals(RATE), demands=DEMAND, num_queries=QUERIES
+    return model.run(
+        rate_qps=RATE, num_queries=QUERIES, demand=DEMAND, seed=0
     )
-    return run_replicated_open_loop(config, scenario, seed=0).summary(0.1)
 
 
 def main() -> None:
-    rows = []
     steps = [
-        ("baseline: P=1, clean", lambda: single_server(1, None)),
-        ("+ partitioning (P=8)", lambda: single_server(8, None)),
-        ("+ GC pauses (30ms/1s)", lambda: single_server(8, PAUSES)),
-        ("+ 2nd replica (JSQ)", lambda: replicated(None)),
-        ("+ hedging @ 8ms", lambda: replicated(HedgeConfig(delay=0.008))),
+        ("baseline: P=1, clean", dict(partitioning=costs(1))),
+        ("+ partitioning (P=8)", dict(partitioning=costs(8))),
+        (
+            "+ GC pauses (30ms/1s)",
+            dict(partitioning=costs(8), hiccups=PAUSES),
+        ),
+        (
+            "+ 2nd replica",
+            dict(
+                partitioning=costs(8), hiccups=PAUSES, replicas_per_shard=2
+            ),
+        ),
+        (
+            "+ hedging @ 8ms",
+            dict(
+                partitioning=costs(8),
+                hiccups=PAUSES,
+                replicas_per_shard=2,
+                hedging=HedgingPolicy(hedge_delay_s=0.008),
+            ),
+        ),
+        (
+            "+ deadline @ 60ms",
+            dict(
+                partitioning=costs(8),
+                hiccups=PAUSES,
+                replicas_per_shard=2,
+                hedging=HedgingPolicy(hedge_delay_s=0.008, deadline_s=0.06),
+            ),
+        ),
     ]
-    for label, runner in steps:
+    rows = []
+    for label, overrides in steps:
         print(f"running: {label} ...")
-        summary = runner()
+        result = run(**overrides)
+        summary = result.summary(0.1)
         rows.append(
-            [label, summary.p50 * 1000, summary.p99 * 1000,
-             summary.p999 * 1000]
+            [
+                label,
+                summary.p50 * 1000,
+                summary.p99 * 1000,
+                summary.p999 * 1000,
+                result.mean_coverage(0.1),
+            ]
         )
     print()
     print(
         format_table(
-            ["configuration", "p50_ms", "p99_ms", "p999_ms"],
+            ["configuration", "p50_ms", "p99_ms", "p999_ms", "coverage"],
             rows,
             title=f"Tail mitigation, step by step ({RATE:.0f} qps)",
         )

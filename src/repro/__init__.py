@@ -7,19 +7,28 @@ query execution, partitioned index serving node, Faban-style driver) —
 plus a calibrated discrete-event simulator used for the paper's load,
 partitioning, and low-power server studies.
 
-Quickstart::
+Quickstart — the supported surface is :mod:`repro.api`::
 
-    from repro import SearchService
+    from repro.api import SearchEngine
 
-    service = SearchService.build(num_partitions=4)
-    response = service.search("example query terms")
-    for hit in response.hits:
-        print(hit.score, service.document(hit.doc_id).title)
+    engine = SearchEngine(num_partitions=4)
+    outcome = engine.search("example query terms")
+    for hit in outcome.hits:
+        print(hit.score, engine.document(hit.doc_id).title)
 
 See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
 per-figure reproduction results.
 """
 
+from repro import api
+from repro.api import (
+    ClusterConfig,
+    ClusterModel,
+    EngineConfig,
+    HedgingPolicy,
+    QueryOutcome,
+    SearchEngine,
+)
 from repro.corpus.generator import CorpusConfig, CorpusGenerator
 from repro.corpus.querylog import QueryLog, QueryLogConfig, QueryLogGenerator
 from repro.corpus.vocabulary import VocabularyConfig
@@ -33,9 +42,16 @@ from repro.search.executor import Searcher
 from repro.search.query import QueryMode
 from repro.servers.catalog import BIG_SERVER, SMALL_SERVER
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "api",
+    "SearchEngine",
+    "ClusterModel",
+    "HedgingPolicy",
+    "EngineConfig",
+    "ClusterConfig",
+    "QueryOutcome",
     "SearchService",
     "SearchServiceConfig",
     "IndexServingNode",

@@ -1,0 +1,366 @@
+"""The blessed public surface of the reproduction.
+
+Everything a user script needs lives here, under three entry points:
+
+- :class:`SearchEngine` — the *native* benchmark: a real Python search
+  stack (synthetic corpus, partitioned index, thread-pool fan-out)
+  measured on the wall clock;
+- :class:`ClusterModel` — the *simulated* benchmark: the same fork-join
+  architecture in a discrete-event simulator, for sweeps the native
+  engine is too slow or too noisy for;
+- :class:`HedgingPolicy` — the tail-tolerance policy (deadlines,
+  hedged requests, bounded retry) interpreted identically by both.
+
+Both entry points produce *query outcomes* satisfying the
+:class:`QueryOutcome` protocol — ``latency_s``, ``coverage``, and
+``doc_ids()`` — so analysis code is agnostic to which path produced a
+result.  Supporting configuration types (corpus/query-log shapes,
+workload models, straggler sources, server specs) are re-exported so
+examples and notebooks need exactly one import::
+
+    from repro.api import SearchEngine, ClusterModel, HedgingPolicy
+
+The deeper modules (``repro.engine``, ``repro.cluster``, ...) remain
+importable for research code that needs the internals, but this module
+is the supported, stability-guaranteed surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol, Tuple, runtime_checkable
+
+from repro.cluster.fanout import (
+    FanoutConfig,
+    FanoutQueryRecord,
+    FanoutResult,
+    run_fanout_open_loop,
+)
+from repro.cluster.server import PartitionModelConfig
+from repro.core.reporting import format_series, format_table
+from repro.corpus.generator import CorpusConfig
+from repro.corpus.querylog import QueryLog, QueryLogConfig
+from repro.corpus.vocabulary import VocabularyConfig
+from repro.engine.hedging import (
+    DISABLED_POLICY,
+    HedgingPolicy,
+    ShardLatencyTracker,
+)
+from repro.engine.isn import IsnResponse
+from repro.engine.service import (
+    ResultPageEntry,
+    SearchPage,
+    SearchService,
+    SearchServiceConfig,
+)
+from repro.index.partitioner import PartitionStrategy
+from repro.metrics.summary import LatencySummary, summarize
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import Tracer
+from repro.servers.catalog import BIG_SERVER, MID_SERVER, SMALL_SERVER
+from repro.servers.spec import ServerSpec
+from repro.sim.hiccups import HiccupConfig
+from repro.sim.network import NetworkModel, NoDelay
+from repro.sim.outages import OutageSpec
+from repro.workload.arrivals import (
+    ArrivalProcess,
+    DeterministicArrivals,
+    MMPPArrivals,
+    PoissonArrivals,
+)
+from repro.workload.scenario import WorkloadScenario
+from repro.workload.servicetime import LognormalDemand
+
+__all__ = [
+    # the three blessed entry points
+    "SearchEngine",
+    "ClusterModel",
+    "HedgingPolicy",
+    # their configs
+    "EngineConfig",
+    "ClusterConfig",
+    "DISABLED_POLICY",
+    # the common outcome protocol and concrete outcome types
+    "QueryOutcome",
+    "IsnResponse",
+    "SearchPage",
+    "ResultPageEntry",
+    "FanoutQueryRecord",
+    "FanoutResult",
+    "LatencySummary",
+    "summarize",
+    # corpus / workload / infrastructure building blocks
+    "CorpusConfig",
+    "VocabularyConfig",
+    "QueryLogConfig",
+    "QueryLog",
+    "PartitionStrategy",
+    "PartitionModelConfig",
+    "WorkloadScenario",
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "DeterministicArrivals",
+    "MMPPArrivals",
+    "LognormalDemand",
+    "ServerSpec",
+    "BIG_SERVER",
+    "MID_SERVER",
+    "SMALL_SERVER",
+    "NetworkModel",
+    "NoDelay",
+    "HiccupConfig",
+    "OutageSpec",
+    "ShardLatencyTracker",
+    # observability + reporting
+    "Tracer",
+    "MetricsRegistry",
+    "format_table",
+    "format_series",
+]
+
+
+@runtime_checkable
+class QueryOutcome(Protocol):
+    """What every query answer looks like, regardless of the path.
+
+    :class:`IsnResponse` (native ISN), :class:`SearchPage` (rendered
+    page), ``FrontendResponse`` (multi-ISN broker), and the simulator's
+    per-query records all satisfy this protocol structurally — analysis
+    code can mix outcomes from any of them.
+    """
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end latency in seconds."""
+        ...
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of index shards reflected in the answer (≤ 1.0)."""
+        ...
+
+    def doc_ids(self) -> List[int]:
+        """Result doc ids, best first (empty for time-only models)."""
+        ...
+
+
+@dataclass(frozen=True, kw_only=True)
+class EngineConfig:
+    """Keyword-only configuration of a native :class:`SearchEngine`.
+
+    A thin, stable veneer over the internal service config: the same
+    knobs, but all keyword-only so adding fields never breaks callers.
+    """
+
+    corpus: CorpusConfig = field(default_factory=CorpusConfig)
+    query_log: QueryLogConfig = field(default_factory=QueryLogConfig)
+    num_partitions: int = 1
+    partition_strategy: PartitionStrategy = PartitionStrategy.ROUND_ROBIN
+    algorithm: str = "daat"
+    use_global_stats: bool = True
+    num_threads: Optional[int] = None
+    hedging: Optional[HedgingPolicy] = None
+
+    def to_service_config(self) -> SearchServiceConfig:
+        """The internal config this maps onto."""
+        return SearchServiceConfig(
+            corpus=self.corpus,
+            query_log=self.query_log,
+            num_partitions=self.num_partitions,
+            partition_strategy=self.partition_strategy,
+            algorithm=self.algorithm,
+            use_global_stats=self.use_global_stats,
+            num_threads=self.num_threads,
+            hedging=self.hedging,
+        )
+
+
+class SearchEngine:
+    """The native benchmark behind one object.
+
+    Builds the synthetic corpus, partitions and indexes it, and serves
+    queries through the ISN's parallel (optionally tail-tolerant)
+    fan-out.  Construct from an :class:`EngineConfig` or from keyword
+    overrides directly::
+
+        engine = SearchEngine(num_partitions=4)
+        outcome = engine.search("web search ranking")
+        outcome.latency_s, outcome.coverage, outcome.doc_ids()
+    """
+
+    def __init__(
+        self,
+        config: Optional[EngineConfig] = None,
+        *,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        **overrides,
+    ):
+        if config is None:
+            config = EngineConfig(**overrides)
+        elif overrides:
+            raise TypeError(
+                "pass either a config object or keyword overrides, not both"
+            )
+        self.config = config
+        self._service = SearchService(
+            config.to_service_config(), tracer=tracer, metrics=metrics
+        )
+
+    @property
+    def service(self) -> SearchService:
+        """The underlying service (escape hatch to the internals)."""
+        return self._service
+
+    @property
+    def query_log(self) -> QueryLog:
+        """The generated query log (Zipfian popularity, web length mix)."""
+        return self._service.query_log
+
+    @property
+    def num_partitions(self) -> int:
+        """Intra-server partitions of the served index."""
+        return self._service.partitioned.num_partitions
+
+    def search(self, text: str, k: int = 10) -> IsnResponse:
+        """Answer a query through the parallel fan-out path."""
+        return self._service.search(text, k=k)
+
+    def search_page(self, text: str, k: int = 10) -> SearchPage:
+        """Answer a query and render the full result page."""
+        return self._service.search_page(text, k=k)
+
+    def document(self, doc_id: int):
+        """Fetch the document behind a result's global doc id."""
+        return self._service.document(doc_id)
+
+    def close(self) -> None:
+        """Release the engine's thread pool."""
+        self._service.close()
+
+    def __enter__(self) -> "SearchEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@dataclass(frozen=True, kw_only=True)
+class ClusterConfig:
+    """Keyword-only configuration of a simulated :class:`ClusterModel`.
+
+    ``num_servers`` shard groups × ``replicas_per_shard`` replicas,
+    each an independent fork-join server with ``num_partitions``
+    intra-server partitions.  ``hiccups``/``outages`` inject
+    stragglers; ``hedging`` mitigates them.
+    """
+
+    num_servers: int = 1
+    spec: ServerSpec = BIG_SERVER
+    num_partitions: int = 1
+    partitioning: Optional[PartitionModelConfig] = None
+    network: NetworkModel = field(default_factory=NoDelay)
+    broker_merge_per_server: float = 2e-5
+    hedging: Optional[HedgingPolicy] = None
+    replicas_per_shard: int = 1
+    hiccups: Optional[HiccupConfig] = None
+    outages: Tuple[OutageSpec, ...] = ()
+
+    def to_fanout_config(self) -> FanoutConfig:
+        """The internal config this maps onto."""
+        partitioning = self.partitioning
+        if partitioning is None:
+            partitioning = PartitionModelConfig(
+                num_partitions=self.num_partitions
+            )
+        elif partitioning.num_partitions != self.num_partitions and (
+            self.num_partitions != 1
+        ):
+            raise ValueError(
+                "set num_partitions either directly or via partitioning, "
+                "not inconsistently in both"
+            )
+        return FanoutConfig(
+            num_servers=self.num_servers,
+            spec=self.spec,
+            partitioning=partitioning,
+            network=self.network,
+            broker_merge_per_server=self.broker_merge_per_server,
+            hedging=self.hedging,
+            replicas_per_shard=self.replicas_per_shard,
+            hiccups=self.hiccups,
+            outages=self.outages,
+        )
+
+
+#: Default per-query demand model: mean ~14 ms, heavy lognormal tail —
+#: the shape measured for the benchmark's query service times.
+DEFAULT_DEMAND = LognormalDemand(mu=-4.6, sigma=0.8)
+
+
+class ClusterModel:
+    """The simulated benchmark cluster behind one object.
+
+    Wraps the DES fan-out tier: the same fork-join architecture as the
+    native engine, driven by a demand model instead of a real index, so
+    load/partitioning/tail-tolerance sweeps run in milliseconds::
+
+        model = ClusterModel(num_servers=4, hedging=HedgingPolicy(
+            hedge_delay_s=0.01, deadline_s=0.2), replicas_per_shard=2,
+            hiccups=HiccupConfig(mean_interval=1.0, pause_duration=0.03))
+        result = model.run(rate_qps=100, num_queries=5_000)
+        result.summary().p999, result.mean_coverage()
+    """
+
+    def __init__(self, config: Optional[ClusterConfig] = None, **overrides):
+        if config is None:
+            config = ClusterConfig(**overrides)
+        elif overrides:
+            raise TypeError(
+                "pass either a config object or keyword overrides, not both"
+            )
+        self.config = config
+        self._fanout = config.to_fanout_config()
+
+    @property
+    def fanout_config(self) -> FanoutConfig:
+        """The internal config (escape hatch to the internals)."""
+        return self._fanout
+
+    def run(
+        self,
+        *,
+        rate_qps: float,
+        num_queries: int,
+        demand: Optional[LognormalDemand] = None,
+        arrivals: Optional[ArrivalProcess] = None,
+        seed: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> FanoutResult:
+        """Simulate ``num_queries`` at ``rate_qps`` offered load.
+
+        ``arrivals`` overrides the default Poisson process (pass
+        :class:`DeterministicArrivals` for clocked arrivals); when set,
+        ``rate_qps`` seeds that process only if it was built from it.
+        """
+        if arrivals is None:
+            arrivals = PoissonArrivals(rate=rate_qps)
+        scenario = WorkloadScenario(
+            arrivals=arrivals,
+            demands=demand if demand is not None else DEFAULT_DEMAND,
+            num_queries=num_queries,
+        )
+        return run_fanout_open_loop(
+            self._fanout, scenario, seed=seed, metrics=metrics
+        )
+
+    def run_scenario(
+        self,
+        scenario: WorkloadScenario,
+        seed: int = 0,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> FanoutResult:
+        """Simulate a fully specified workload scenario."""
+        return run_fanout_open_loop(
+            self._fanout, scenario, seed=seed, metrics=metrics
+        )

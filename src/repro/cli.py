@@ -22,7 +22,18 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.cluster.server import PartitionModelConfig
+from repro.api import (
+    BIG_SERVER,
+    SMALL_SERVER,
+    CorpusConfig,
+    EngineConfig,
+    HedgingPolicy,
+    QueryLogConfig,
+    SearchEngine,
+    VocabularyConfig,
+    format_series,
+    format_table,
+)
 from repro.core.calibration import (
     calibrate_isn,
     cost_model_from_calibration,
@@ -33,18 +44,16 @@ from repro.core.caching import hit_rate_vs_capacity
 from repro.core.characterization import characterize_service_times
 from repro.core.lowpower import compare_servers_vs_partitions
 from repro.core.partitioning import run_partitioning_sweep
-from repro.core.reporting import format_series, format_table
-from repro.corpus.generator import CorpusConfig
-from repro.corpus.querylog import QueryLogConfig
-from repro.corpus.vocabulary import VocabularyConfig
-from repro.engine.service import SearchService, SearchServiceConfig
-from repro.servers.catalog import BIG_SERVER, SMALL_SERVER
 
 DEFAULT_PARTITIONS = (1, 2, 4, 8)
 
 
-def _build_service(args: argparse.Namespace, num_partitions: int = 1) -> SearchService:
-    config = SearchServiceConfig(
+def _engine_config(
+    args: argparse.Namespace,
+    num_partitions: int = 1,
+    hedging: Optional[HedgingPolicy] = None,
+) -> EngineConfig:
+    return EngineConfig(
         corpus=CorpusConfig(
             num_documents=args.docs,
             vocabulary=VocabularyConfig(size=max(2_000, args.docs * 5)),
@@ -56,12 +65,19 @@ def _build_service(args: argparse.Namespace, num_partitions: int = 1) -> SearchS
             seed=args.seed + 1,
         ),
         num_partitions=num_partitions,
+        hedging=hedging,
     )
-    return SearchService(config)
+
+
+def _build_engine(
+    args: argparse.Namespace, num_partitions: int = 1
+) -> SearchEngine:
+    return SearchEngine(_engine_config(args, num_partitions))
 
 
 def _calibrated_models(args: argparse.Namespace):
-    with _build_service(args) as service:
+    with _build_engine(args) as engine:
+        service = engine.service
         calibration = calibrate_isn(
             service.isn, service.query_log, num_queries=80, repeats=2,
             seed=args.seed,
@@ -73,23 +89,24 @@ def _calibrated_models(args: argparse.Namespace):
 
 
 def cmd_quickstart(args: argparse.Namespace) -> int:
-    with _build_service(args, num_partitions=4) as service:
+    with _build_engine(args, num_partitions=4) as engine:
         print(
-            f"indexed {len(service.collection)} documents into 4 partitions"
+            f"indexed {len(engine.service.collection)} documents "
+            f"into 4 partitions"
         )
-        for query in list(service.query_log)[: args.queries]:
-            response = service.search(query.text, k=3)
+        for query in list(engine.query_log)[: args.queries]:
+            response = engine.search(query.text, k=3)
             print(
                 f"  {query.text!r}: {len(response.hits)} hits in "
-                f"{response.timings.total_seconds * 1000:.2f} ms"
+                f"{response.latency_s * 1000:.2f} ms"
             )
     return 0
 
 
 def cmd_characterize(args: argparse.Namespace) -> int:
-    with _build_service(args) as service:
+    with _build_engine(args) as engine:
         result = characterize_service_times(
-            service.isn, service.query_log, num_queries=args.queries,
+            engine.service.isn, engine.query_log, num_queries=args.queries,
             seed=args.seed,
         )
     summary = result.summary.scaled(1000.0)
@@ -194,8 +211,8 @@ def cmd_capacity(args: argparse.Namespace) -> int:
 
 
 def cmd_cache(args: argparse.Namespace) -> int:
-    with _build_service(args) as service:
-        log = service.query_log
+    with _build_engine(args) as engine:
+        log = engine.query_log
     capacities = [c for c in (10, 30, 100, 300) if c <= len(log)] or [10]
     rates = hit_rate_vs_capacity(log, capacities, seed=args.seed)
     print(
@@ -212,8 +229,8 @@ def cmd_cache(args: argparse.Namespace) -> int:
 def cmd_profile_log(args: argparse.Namespace) -> int:
     from repro.corpus.loganalysis import profile_query_log
 
-    with _build_service(args) as service:
-        profile = profile_query_log(service.query_log, stream_length=30_000,
+    with _build_engine(args) as engine:
+        profile = profile_query_log(engine.query_log, stream_length=30_000,
                                     seed=args.seed)
     mix_rows = [
         [terms, round(share, 3)]
@@ -255,23 +272,34 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
     tracer = Tracer(enabled=True)
     registry = MetricsRegistry()
-    config = SearchServiceConfig(
-        corpus=CorpusConfig(
-            num_documents=args.docs,
-            vocabulary=VocabularyConfig(size=max(2_000, args.docs * 5)),
-            mean_length=150,
-            seed=args.seed,
-        ),
-        query_log=QueryLogConfig(
-            num_unique_queries=min(500, max(50, args.docs // 10)),
-            seed=args.seed + 1,
-        ),
-        num_partitions=args.partitions,
+    hedging = None
+    if args.hedge_delay_ms is not None or args.deadline_ms is not None:
+        hedging = HedgingPolicy(
+            hedge_delay_s=(
+                args.hedge_delay_ms / 1000.0
+                if args.hedge_delay_ms is not None
+                else None
+            ),
+            deadline_s=(
+                args.deadline_ms / 1000.0
+                if args.deadline_ms is not None
+                else None
+            ),
+        )
+    config = _engine_config(args, args.partitions, hedging=hedging)
+    with SearchEngine(config, tracer=tracer, metrics=registry) as engine:
+        query = args.query or next(iter(engine.query_log)).text
+        response = engine.search(query, k=args.k)
+    print(
+        f"query: {query!r} -> {len(response.hits)} hits, "
+        f"coverage {response.coverage:.2f}"
     )
-    with SearchService(config, tracer=tracer, metrics=registry) as service:
-        query = args.query or next(iter(service.query_log)).text
-        response = service.search(query, k=args.k)
-    print(f"query: {query!r} -> {len(response.hits)} hits")
+    if hedging is not None:
+        print(
+            f"hedges issued {response.hedges_issued}, "
+            f"won {response.hedges_won}, "
+            f"deadline misses {response.deadline_misses}"
+        )
     print()
     print(format_span_tree(response.trace))
     print()
@@ -298,9 +326,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.core.report import ReportOptions, characterization_report
 
-    with _build_service(args) as service:
+    with _build_engine(args) as engine:
         report = characterization_report(
-            service,
+            engine.service,
             ReportOptions(num_queries=args.queries, seed=args.seed),
             path=args.output,
         )
@@ -378,6 +406,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument("--partitions", type=int, default=4)
     trace.add_argument("--k", type=int, default=10)
+    trace.add_argument(
+        "--hedge-delay-ms", type=float, default=None,
+        help="enable hedged shard requests after this many milliseconds",
+    )
+    trace.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-shard deadline budget in milliseconds (partial results)",
+    )
     trace.add_argument("--jsonl", default=None,
                        help="also export the trace as JSON-lines")
     trace.add_argument("--metrics-csv", default=None,

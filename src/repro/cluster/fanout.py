@@ -7,21 +7,35 @@ is an independent fork-join server (own cores, own partitions), a query
 completes when the *slowest* ISN responds plus broker merge — the
 "tail at scale" structure where the cluster's latency is an order
 statistic of per-node latencies.
+
+With a :class:`~repro.engine.hedging.HedgingPolicy` (plus optionally
+replicas, hiccups, or scripted outages as straggler sources) the broker
+becomes *tail-tolerant*: shard requests carry deadlines, stragglers are
+hedged to a different replica, and a deadline miss degrades the merge
+to the shards that answered (``coverage`` < 1).  The same policy object
+drives the native :class:`~repro.engine.isn.IndexServingNode`, keeping
+the simulator calibrated against the engine's mitigation behaviour.
+Without any tail feature configured, the simulation takes the original
+analytic path and is bit-identical to the seed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.cluster.results import QueryRecord
 from repro.cluster.server import PartitionModelConfig, SimulatedServer
+from repro.engine.hedging import HedgingPolicy, ShardLatencyTracker
 from repro.metrics.summary import LatencySummary, summarize
+from repro.obs.registry import MetricsRegistry
 from repro.servers.spec import ServerSpec
-from repro.sim.engine import Simulator
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.hiccups import HiccupConfig, HiccupSchedule
 from repro.sim.network import NetworkModel, NoDelay
+from repro.sim.outages import FixedOutages, OutageSpec
 from repro.sim.random import RandomStreams
 from repro.workload.scenario import WorkloadScenario
 
@@ -50,6 +64,22 @@ class FanoutConfig:
         servers — document sharding never splits a query's postings
         volume perfectly evenly, and this per-(query, server) jitter is
         what the broker's wait-for-the-slowest amplifies at scale.
+    hedging:
+        Optional tail-tolerance policy interpreted by the broker
+        against simulated time — same object the native ISN consumes.
+        None (or an inert policy) keeps the seed's plain fan-out.
+    replicas_per_shard:
+        Identical replicas per shard group.  Hedged backups go to a
+        *different* replica than the primary (a whole-server pause
+        freezes all its cores, so re-asking the same server cannot
+        win); primaries pick the least-loaded replica.
+    hiccups:
+        Optional stop-the-world pause process applied independently to
+        every replica — the stochastic straggler source.
+    outages:
+        Scripted per-replica stall windows — the deterministic
+        straggler source (takes precedence over ``hiccups`` on the
+        replicas it names).
     """
 
     num_servers: int
@@ -60,6 +90,10 @@ class FanoutConfig:
     network: NetworkModel = field(default_factory=NoDelay)
     broker_merge_per_server: float = 2e-5
     server_imbalance_concentration: float = 60.0
+    hedging: Optional[HedgingPolicy] = None
+    replicas_per_shard: int = 1
+    hiccups: Optional[HiccupConfig] = None
+    outages: Tuple[OutageSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if self.num_servers <= 0:
@@ -68,17 +102,48 @@ class FanoutConfig:
             raise ValueError("broker_merge_per_server must be non-negative")
         if self.server_imbalance_concentration <= 0:
             raise ValueError("server_imbalance_concentration must be positive")
+        if self.replicas_per_shard <= 0:
+            raise ValueError("replicas_per_shard must be positive")
+        for outage in self.outages:
+            if outage.shard >= self.num_servers:
+                raise ValueError(
+                    f"outage names shard {outage.shard}; "
+                    f"cluster has {self.num_servers}"
+                )
+            if outage.replica >= self.replicas_per_shard:
+                raise ValueError(
+                    f"outage names replica {outage.replica}; "
+                    f"cluster has {self.replicas_per_shard} per shard"
+                )
+
+    @property
+    def tail_tolerant(self) -> bool:
+        """True when any tail feature moves us off the seed fast path."""
+        return (
+            (self.hedging is not None and self.hedging.enabled)
+            or self.replicas_per_shard > 1
+            or self.hiccups is not None
+            or bool(self.outages)
+        )
 
 
 @dataclass
 class FanoutQueryRecord:
-    """Timeline of one query through the fan-out cluster."""
+    """Timeline of one query through the fan-out cluster.
+
+    ``coverage`` and the hedge counters stay at their defaults on the
+    plain path; the tail-tolerant broker fills them in.
+    """
 
     query_id: int
     client_send: float
     total_demand: float
     isn_completions: List[float] = field(default_factory=list)
     client_receive: float = float("nan")
+    coverage: float = 1.0
+    hedges_issued: int = 0
+    hedges_won: int = 0
+    deadline_misses: int = 0
 
     @property
     def complete(self) -> bool:
@@ -88,6 +153,16 @@ class FanoutQueryRecord:
     def latency(self) -> float:
         """End-to-end response time."""
         return self.client_receive - self.client_send
+
+    @property
+    def latency_s(self) -> float:
+        """Alias of :attr:`latency` (common query-outcome accessor)."""
+        return self.latency
+
+    def doc_ids(self) -> List[int]:
+        """Empty — the simulator models time, not result content
+        (protocol accessor shared with the native engine)."""
+        return []
 
     @property
     def slowest_isn_completion(self) -> float:
@@ -124,18 +199,51 @@ class FanoutResult:
         """Average straggler skew across queries."""
         return float(np.mean([r.fanout_skew for r in self.records]))
 
+    def mean_coverage(self, warmup_fraction: float = 0.0) -> float:
+        """Mean fraction of shards merged per query."""
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        skip = int(len(self.records) * warmup_fraction)
+        selected = self.records[skip:]
+        if not selected:
+            raise ValueError("no records after warm-up filtering")
+        return float(np.mean([r.coverage for r in selected]))
+
+    @property
+    def hedges_issued(self) -> int:
+        """Total backup requests the broker issued."""
+        return sum(r.hedges_issued for r in self.records)
+
+    @property
+    def hedges_won(self) -> int:
+        """Shard answers won by a backup request."""
+        return sum(r.hedges_won for r in self.records)
+
+    @property
+    def deadline_misses(self) -> int:
+        """Shard requests dropped for missing their deadline."""
+        return sum(r.deadline_misses for r in self.records)
+
 
 def run_fanout_open_loop(
     config: FanoutConfig,
     scenario: WorkloadScenario,
     seed: int = 0,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> FanoutResult:
     """Simulate the cluster under an open-loop arrival process.
 
     ``scenario`` demands are *whole-query* demands; each ISN executes
     ``demand / num_servers`` (its index slice) through its own
     fork-join partition model.
+
+    With any tail feature configured (hedging policy, replicas,
+    hiccups, outages) the simulation runs the event-driven
+    tail-tolerant broker; otherwise it takes the seed's analytic path,
+    which is bit-identical to pre-tail-tolerance builds.
     """
+    if config.tail_tolerant:
+        return _run_fanout_tail_tolerant(config, scenario, seed, metrics)
     streams = RandomStreams(seed)
     arrival_times, demands = scenario.realize(
         streams.stream("arrivals"), streams.stream("demands")
@@ -209,6 +317,280 @@ def run_fanout_open_loop(
     incomplete = [r for r in pending.values() if r != 0]
     if incomplete:
         raise RuntimeError(f"{len(incomplete)} queries never completed")
+    records.sort(key=lambda record: record.client_send)
+    return FanoutResult(
+        records=records, horizon=sim.now, num_servers=config.num_servers
+    )
+
+
+class _ShardState:
+    """Broker-side state of one (query, shard) request."""
+
+    __slots__ = (
+        "answered",
+        "missed",
+        "hedges_issued",
+        "tried",
+        "hedge_handle",
+        "deadline_handle",
+    )
+
+    def __init__(self) -> None:
+        self.answered = False
+        self.missed = False
+        self.hedges_issued = 0
+        self.tried: Set[int] = set()
+        self.hedge_handle: Optional[EventHandle] = None
+        self.deadline_handle: Optional[EventHandle] = None
+
+    @property
+    def decided(self) -> bool:
+        return self.answered or self.missed
+
+
+class _QueryState:
+    """Broker-side state of one in-flight query."""
+
+    __slots__ = ("record", "dispatch_time", "pending", "done", "shards")
+
+    def __init__(self, record: FanoutQueryRecord, num_shards: int) -> None:
+        self.record = record
+        self.dispatch_time = float("nan")
+        self.pending = num_shards
+        self.done = False
+        self.shards = [_ShardState() for _ in range(num_shards)]
+
+
+def _replica_stalls(
+    config: FanoutConfig,
+    streams: RandomStreams,
+    shard: int,
+    replica: int,
+):
+    """The stall source for one replica: scripted outages beat hiccups."""
+    windows = [
+        (outage.start, outage.duration)
+        for outage in config.outages
+        if outage.shard == shard and outage.replica == replica
+    ]
+    if windows:
+        return FixedOutages(windows)
+    if config.hiccups is not None:
+        return HiccupSchedule(
+            config.hiccups, streams.stream(f"hiccups-{shard}-{replica}")
+        )
+    return None
+
+
+def _run_fanout_tail_tolerant(
+    config: FanoutConfig,
+    scenario: WorkloadScenario,
+    seed: int,
+    metrics: Optional[MetricsRegistry] = None,
+) -> FanoutResult:
+    """Event-driven fan-out with deadlines, hedging, and replicas.
+
+    The broker dispatches each shard request to the least-loaded
+    replica, schedules cancellable hedge/deadline events against the
+    simulator clock, re-issues stragglers to a *different* replica, and
+    finishes a query when every shard is decided — answered or
+    deadline-missed.  Late and loser answers are ignored (the DES
+    cannot retract work already committed to a replica's cores, which
+    mirrors a backend without mid-request cancellation).
+    """
+    policy = (
+        config.hedging
+        if config.hedging is not None and config.hedging.enabled
+        else None
+    )
+    streams = RandomStreams(seed)
+    arrival_times, demands = scenario.realize(
+        streams.stream("arrivals"), streams.stream("demands")
+    )
+    network_rng = streams.stream("network")
+    sim = Simulator()
+    tracker = ShardLatencyTracker()
+    records: List[FanoutQueryRecord] = []
+    completion_handlers: Dict[int, Callable[[QueryRecord], None]] = {}
+
+    servers: List[List[SimulatedServer]] = []
+    for shard in range(config.num_servers):
+        group = []
+        for replica in range(config.replicas_per_shard):
+            stream_name = (
+                f"imbalance-{shard}"
+                if replica == 0
+                else f"imbalance-{shard}r{replica}"
+            )
+            group.append(
+                SimulatedServer(
+                    sim,
+                    config.spec,
+                    config.partitioning,
+                    imbalance_rng=streams.stream(stream_name),
+                    on_complete=lambda rec: completion_handlers.pop(id(rec))(
+                        rec
+                    ),
+                    hiccups=_replica_stalls(config, streams, shard, replica),
+                )
+            )
+        servers.append(group)
+
+    shard_rng = streams.stream("server-imbalance")
+
+    def dispatch_attempt(
+        state: _QueryState, shard: int, demand: float, kind: str
+    ) -> bool:
+        """Send one attempt to an untried replica; False if none left."""
+        shard_state = state.shards[shard]
+        candidates = [
+            replica
+            for replica in range(config.replicas_per_shard)
+            if replica not in shard_state.tried
+        ]
+        if not candidates:
+            return False
+        replica = min(
+            candidates, key=lambda r: (servers[shard][r].outstanding, r)
+        )
+        shard_state.tried.add(replica)
+        server_record = QueryRecord(
+            query_id=state.record.query_id,
+            client_send=state.record.client_send,
+            demand=demand,
+        )
+
+        def on_server_done(
+            rec: QueryRecord, state=state, shard=shard, kind=kind
+        ) -> None:
+            arrival = rec.merge_end + config.network.delay(network_rng)
+            sim.schedule(arrival, on_answer, state, shard, kind)
+
+        completion_handlers[id(server_record)] = on_server_done
+        arrival = sim.now + config.network.delay(network_rng)
+        sim.schedule(
+            arrival, servers[shard][replica].handle_arrival, server_record
+        )
+        return True
+
+    def on_answer(state: _QueryState, shard: int, kind: str) -> None:
+        shard_state = state.shards[shard]
+        if state.done or shard_state.decided:
+            return  # a loser, or an answer past its deadline
+        shard_state.answered = True
+        if kind == "hedge":
+            state.record.hedges_won += 1
+        tracker.observe(sim.now - state.dispatch_time)
+        if shard_state.hedge_handle is not None:
+            shard_state.hedge_handle.cancel()
+        if shard_state.deadline_handle is not None:
+            shard_state.deadline_handle.cancel()
+        state.record.isn_completions.append(sim.now)
+        state.pending -= 1
+        maybe_finish(state)
+
+    def on_hedge_timer(
+        state: _QueryState, shard: int, demand: float, delay: float
+    ) -> None:
+        shard_state = state.shards[shard]
+        shard_state.hedge_handle = None
+        if state.done or shard_state.decided:
+            return
+        if shard_state.hedges_issued >= policy.max_hedges:
+            return
+        if not dispatch_attempt(state, shard, demand, "hedge"):
+            return  # every replica already tried
+        shard_state.hedges_issued += 1
+        state.record.hedges_issued += 1
+        if shard_state.hedges_issued < policy.max_hedges:
+            shard_state.hedge_handle = sim.schedule_after(
+                delay, on_hedge_timer, state, shard, demand, delay
+            )
+
+    def on_deadline(state: _QueryState, shard: int) -> None:
+        shard_state = state.shards[shard]
+        if state.done or shard_state.answered:
+            return
+        shard_state.missed = True
+        state.record.deadline_misses += 1
+        if shard_state.hedge_handle is not None:
+            shard_state.hedge_handle.cancel()
+        state.pending -= 1
+        maybe_finish(state)
+
+    def maybe_finish(state: _QueryState) -> None:
+        if state.pending > 0:
+            return
+        state.done = True
+        answered = sum(1 for s in state.shards if s.answered)
+        state.record.coverage = (
+            answered / config.num_servers if config.num_servers else 1.0
+        )
+        merge_done = sim.now + config.broker_merge_per_server * answered
+        state.record.client_receive = merge_done + config.network.delay(
+            network_rng
+        )
+        records.append(state.record)
+
+    def start_query(state: _QueryState) -> None:
+        state.dispatch_time = sim.now
+        if config.num_servers == 1:
+            shares = np.ones(1)
+        else:
+            shares = shard_rng.dirichlet(
+                np.full(
+                    config.num_servers, config.server_imbalance_concentration
+                )
+            )
+        hedge_delay = (
+            policy.resolve_hedge_delay(tracker) if policy is not None else None
+        )
+        for shard, share in enumerate(shares):
+            demand = state.record.total_demand * float(share)
+            dispatch_attempt(state, shard, demand, "primary")
+            shard_state = state.shards[shard]
+            if (
+                hedge_delay is not None
+                and config.replicas_per_shard > 1
+                and policy.max_hedges > 0
+            ):
+                shard_state.hedge_handle = sim.schedule_after(
+                    hedge_delay, on_hedge_timer, state, shard, demand,
+                    hedge_delay,
+                )
+            if policy is not None and policy.deadline_s is not None:
+                shard_state.deadline_handle = sim.schedule_after(
+                    policy.deadline_s, on_deadline, state, shard
+                )
+
+    states: List[_QueryState] = []
+    for query_id, (send_time, demand) in enumerate(
+        zip(arrival_times, demands)
+    ):
+        record = FanoutQueryRecord(
+            query_id=query_id,
+            client_send=float(send_time),
+            total_demand=float(demand),
+        )
+        state = _QueryState(record, config.num_servers)
+        states.append(state)
+        sim.schedule(float(send_time), start_query, state)
+
+    sim.run()
+    unfinished = [state for state in states if not state.done]
+    if unfinished:
+        raise RuntimeError(f"{len(unfinished)} queries never completed")
+    if metrics is not None:
+        metrics.counter("fanout.queries").add(len(records))
+        metrics.counter("fanout.hedges_issued").add(
+            sum(r.hedges_issued for r in records)
+        )
+        metrics.counter("fanout.hedges_won").add(
+            sum(r.hedges_won for r in records)
+        )
+        metrics.counter("fanout.deadline_misses").add(
+            sum(r.deadline_misses for r in records)
+        )
     records.sort(key=lambda record: record.client_send)
     return FanoutResult(
         records=records, horizon=sim.now, num_servers=config.num_servers

@@ -18,6 +18,7 @@ tail cuts for a small duplicate-work budget.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional
@@ -44,23 +45,55 @@ class ReplicaSelection(Enum):
     LEAST_OUTSTANDING = "least_outstanding"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, init=False)
 class HedgeConfig:
     """Hedged-request policy.
 
     Attributes
     ----------
-    delay:
+    delay_s:
         Seconds after dispatch before the duplicate is sent.  Production
         systems set this near the per-shard p95 so only ~5% of requests
         hedge.
+
+    The field was renamed from ``delay`` to ``delay_s`` when the
+    :mod:`repro.api` surface standardized on unit-suffixed durations;
+    the old keyword and attribute still work but raise a
+    ``DeprecationWarning``.
     """
 
-    delay: float
+    delay_s: float
 
-    def __post_init__(self) -> None:
-        if self.delay <= 0:
+    def __init__(
+        self,
+        delay_s: Optional[float] = None,
+        *,
+        delay: Optional[float] = None,
+    ) -> None:
+        if delay is not None:
+            warnings.warn(
+                "HedgeConfig(delay=...) is deprecated; use delay_s=...",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if delay_s is not None:
+                raise TypeError("pass either delay_s or delay, not both")
+            delay_s = delay
+        if delay_s is None:
+            raise TypeError("HedgeConfig requires delay_s")
+        if delay_s <= 0:
             raise ValueError("hedge delay must be positive")
+        object.__setattr__(self, "delay_s", float(delay_s))
+
+    @property
+    def delay(self) -> float:
+        """Deprecated alias of :attr:`delay_s`."""
+        warnings.warn(
+            "HedgeConfig.delay is deprecated; read delay_s instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.delay_s
 
 
 @dataclass(frozen=True)
@@ -348,7 +381,7 @@ def run_replicated_open_loop(
                 )
                 if config.hedge is not None:
                     sim.schedule(
-                        sim.now + config.hedge.delay,
+                        sim.now + config.hedge.delay_s,
                         _maybe_hedge,
                         record,
                         shard,

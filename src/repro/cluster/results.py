@@ -29,6 +29,7 @@ class QueryRecord:
     merge_start: float = float("nan")
     merge_end: float = float("nan")
     client_receive: float = float("nan")
+    coverage: float = 1.0
 
     @property
     def complete(self) -> bool:
@@ -39,6 +40,16 @@ class QueryRecord:
     def latency(self) -> float:
         """End-to-end response time seen by the client."""
         return self.client_receive - self.client_send
+
+    @property
+    def latency_s(self) -> float:
+        """Alias of :attr:`latency` (common query-outcome accessor)."""
+        return self.latency
+
+    def doc_ids(self) -> List[int]:
+        """Doc ids of the answer — empty: the simulator models time, not
+        content (protocol accessor shared with the native engine)."""
+        return []
 
     @property
     def server_latency(self) -> float:

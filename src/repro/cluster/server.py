@@ -102,10 +102,14 @@ class SimulatedServer:
         )
         self._imbalance_rng = imbalance_rng
         self._on_complete = on_complete
+        #: Queries accepted but not yet completed — the load signal a
+        #: tail-tolerant broker uses to pick the least-loaded replica.
+        self.outstanding = 0
 
     def handle_arrival(self, record: QueryRecord) -> None:
         """Process a query arriving now (``sim.now``); fork its tasks."""
         now = self.sim.now
+        self.outstanding += 1
         record.server_arrival = now
         config = self.partitioning
         shares = self._work_shares(config.num_partitions)
@@ -145,11 +149,13 @@ class SimulatedServer:
 
     def _finish_merge(self, record: QueryRecord) -> None:
         record.merge_end = self.sim.now
+        self.outstanding -= 1
         if self._on_complete is not None:
             self._on_complete(record)
 
     def _complete_without_merge(self, record: QueryRecord) -> None:
         record.merge_start = self.sim.now
         record.merge_end = self.sim.now
+        self.outstanding -= 1
         if self._on_complete is not None:
             self._on_complete(record)

@@ -82,7 +82,7 @@ def replication_policy_study(
         config = replace(
             base_config,
             selection=ReplicaSelection.LEAST_OUTSTANDING,
-            hedge=HedgeConfig(delay=delay),
+            hedge=HedgeConfig(delay_s=delay),
         )
         result = run_replicated_open_loop(config, scenario, seed=seed)
         points.append(

@@ -16,10 +16,16 @@ from repro.engine.driver import (
     replay_serial,
 )
 from repro.engine.frontend import Frontend, FrontendResponse
+from repro.engine.hedging import (
+    DISABLED_POLICY,
+    HedgingPolicy,
+    ShardLatencyTracker,
+)
 from repro.engine.instrumentation import ComponentTimings, Timer
 from repro.engine.isn import IndexServingNode, IsnResponse
 from repro.engine.service import (
     ResultPageEntry,
+    SearchPage,
     SearchService,
     SearchServiceConfig,
 )
@@ -28,6 +34,9 @@ from repro.engine.snippets import Snippet, SnippetGenerator
 __all__ = [
     "IndexServingNode",
     "IsnResponse",
+    "HedgingPolicy",
+    "ShardLatencyTracker",
+    "DISABLED_POLICY",
     "Frontend",
     "FrontendResponse",
     "ClosedLoopDriver",
@@ -37,6 +46,7 @@ __all__ = [
     "ComponentTimings",
     "Timer",
     "ResultPageEntry",
+    "SearchPage",
     "SearchService",
     "SearchServiceConfig",
     "Snippet",

@@ -35,6 +35,24 @@ class FrontendResponse:
         return [hit.doc_id for hit in self.hits]
 
     @property
+    def latency_s(self) -> float:
+        """End-to-end client-observed latency (protocol accessor)."""
+        return self.total_seconds
+
+    @property
+    def coverage(self) -> float:
+        """Mean shard coverage across the contributing ISNs.
+
+        1.0 unless a tail-tolerance deadline dropped shards somewhere
+        behind this frontend.
+        """
+        if not self.isn_responses:
+            return 1.0
+        return sum(
+            response.coverage for response in self.isn_responses
+        ) / len(self.isn_responses)
+
+    @property
     def slowest_isn_seconds(self) -> float:
         """The straggler ISN's total time."""
         return max(

@@ -5,45 +5,100 @@ all partitions — in parallel on a thread pool (the benchmark's
 behaviour) or serially (for noise-free service-time characterization) —
 and merging the shard top-k lists.
 
+With a :class:`~repro.engine.hedging.HedgingPolicy` attached, the
+fan-out becomes *tail-tolerant*: each shard request carries a deadline
+budget, a straggling shard is hedged (a backup attempt races the
+original, first answer wins, losers are cancelled), failed attempts are
+retried with backoff, and a shard that misses its deadline is dropped
+from the merge — the response then reports ``coverage < 1.0`` so
+callers can plot the quality-vs-tail tradeoff.  Without a policy the
+fan-out is the seed's plain gather, byte-for-byte.
+
 When constructed with a :class:`~repro.obs.tracing.Tracer`, every query
 emits a span tree (``isn.execute`` → ``parse``/``fanout``/``shard``/
 ``merge``) whose timestamps are the same measurements the response's
 :class:`ComponentTimings` is built from — with tracing enabled the
 timings *are* derived from the spans, so the two views cannot drift.
 A :class:`~repro.obs.registry.MetricsRegistry` adds per-run counters
-(queries served, postings traversed, cache outcomes).
+(queries served, postings traversed, hedges issued/won, deadline
+misses).
 """
 
 from __future__ import annotations
 
+import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor
+from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.engine.hedging import HedgingPolicy, ShardLatencyTracker
 from repro.engine.instrumentation import ComponentTimings
 from repro.index.partitioner import PartitionedIndex
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracing import Span, Tracer
-from repro.search.executor import ShardSearcher
+from repro.search.executor import SearchCancelled, ShardSearcher
 from repro.search.global_stats import global_scorer_factory
 from repro.search.merger import merge_shard_results
 from repro.search.query import DEFAULT_TOP_K, ParsedQuery, QueryMode, QueryParser
 from repro.search.topk import SearchHit
 
+#: Linear bucket edges for the coverage histogram (fractions of shards).
+COVERAGE_BUCKETS = tuple(i / 20.0 for i in range(21))
+
 
 @dataclass(frozen=True)
 class IsnResponse:
-    """One query's answer from an ISN."""
+    """One query's answer from an ISN.
+
+    ``coverage`` is the fraction of shards whose answer made it into
+    the merge: 1.0 on the plain path, possibly lower under a
+    :class:`~repro.engine.hedging.HedgingPolicy` with deadlines.
+    """
 
     hits: Tuple[SearchHit, ...]
     timings: ComponentTimings
     matched_volume: int
+    coverage: float = 1.0
+    hedges_issued: int = 0
+    hedges_won: int = 0
+    deadline_misses: int = 0
     trace: Optional[Span] = field(default=None, compare=False)
+
+    @property
+    def latency_s(self) -> float:
+        """End-to-end service time in seconds (protocol accessor)."""
+        return self.timings.total_seconds
 
     def doc_ids(self) -> List[int]:
         """Global doc ids of the hits, best first."""
         return [hit.doc_id for hit in self.hits]
+
+
+@dataclass
+class _FanoutOutcome:
+    """What one fan-out produced: answered shards plus hedge accounting.
+
+    ``answered`` holds ``(shard_index, kind, result, start, end)``
+    tuples for shards whose winner made the merge; ``kind`` is the
+    winning attempt's flavour (``"primary"``/``"hedge"``/``"retry"``).
+    """
+
+    answered: List[tuple]
+    num_shards: int
+    hedges_issued: int = 0
+    hedges_won: int = 0
+    deadline_misses: int = 0
+    failures: int = 0
+    retries: int = 0
+    missed_shards: Tuple[int, ...] = ()
+
+    @property
+    def coverage(self) -> float:
+        if self.num_shards == 0:
+            return 1.0
+        return len(self.answered) / self.num_shards
 
 
 class IndexServingNode:
@@ -55,7 +110,9 @@ class IndexServingNode:
         The server's index shards.
     num_threads:
         Worker threads for the partition fan-out; defaults to the
-        partition count (the benchmark's thread-per-partition setting).
+        partition count (the benchmark's thread-per-partition setting),
+        doubled when a hedging policy is attached so backup attempts
+        are not starved by the primaries they are meant to overtake.
     algorithm:
         Traversal algorithm for shard searchers.
     use_global_stats:
@@ -65,6 +122,9 @@ class IndexServingNode:
         Optional result-page cache consulted by :meth:`execute` before
         the partition fan-out.  :meth:`execute_serial` bypasses it —
         characterization and calibration need raw service times.
+    hedging:
+        Optional :class:`~repro.engine.hedging.HedgingPolicy`.  None or
+        an inert policy keeps the seed's plain fan-out path.
     tracer:
         Optional span tracer.  None (the default) keeps the serving
         path span-free; a disabled tracer costs one branch per query.
@@ -79,6 +139,7 @@ class IndexServingNode:
         algorithm: str = "daat",
         use_global_stats: bool = True,
         cache: Optional["QueryResultCache"] = None,
+        hedging: Optional[HedgingPolicy] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
     ):
@@ -86,6 +147,10 @@ class IndexServingNode:
         self.cache = cache
         self._tracer = tracer
         self._metrics = metrics
+        self._hedging = (
+            hedging if hedging is not None and hedging.enabled else None
+        )
+        self._latency_tracker = ShardLatencyTracker()
         scorer_factory = (
             global_scorer_factory(partitioned) if use_global_stats else None
         )
@@ -102,9 +167,12 @@ class IndexServingNode:
         self._parser = QueryParser(analyzer)
         if num_threads is not None and num_threads <= 0:
             raise ValueError("num_threads must be positive")
-        workers = num_threads if num_threads is not None else (
-            partitioned.num_partitions
-        )
+        if num_threads is not None:
+            workers = num_threads
+        else:
+            workers = partitioned.num_partitions
+            if self._hedging is not None and self._hedging.hedges_enabled:
+                workers *= 2
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="isn-shard"
         )
@@ -114,6 +182,11 @@ class IndexServingNode:
     def num_partitions(self) -> int:
         """Partition count of the served index."""
         return self.partitioned.num_partitions
+
+    @property
+    def hedging(self) -> Optional[HedgingPolicy]:
+        """The active tail-tolerance policy (None when inert)."""
+        return self._hedging
 
     @property
     def _tracing(self) -> bool:
@@ -141,18 +214,29 @@ class IndexServingNode:
                 )
 
         fanout_start = time.perf_counter()
-        futures = [
-            self._pool.submit(self._search_shard, searcher, query)
-            for searcher in self._searchers
-        ]
-        shard_outputs = [future.result() for future in futures]
+        if self._hedging is not None:
+            outcome = self._fanout_hedged(query, fanout_start)
+        else:
+            futures = [
+                self._pool.submit(self._search_shard, searcher, query)
+                for searcher in self._searchers
+            ]
+            outcome = _FanoutOutcome(
+                answered=[
+                    (shard, "primary", *future.result())
+                    for shard, future in enumerate(futures)
+                ],
+                num_shards=len(futures),
+            )
         fanout_end = time.perf_counter()
 
         response = self._assemble(
-            text, query, shard_outputs,
+            text, query, outcome,
             parse_start, parse_end, fanout_start, fanout_end, total_start,
         )
-        if self.cache is not None:
+        if self.cache is not None and response.coverage >= 1.0:
+            # Partial answers must not poison the cache with degraded
+            # pages — only full-coverage responses are stored.
             self.cache.store(query, response.hits)
         return response
 
@@ -166,7 +250,8 @@ class IndexServingNode:
 
         Serial execution removes thread-pool scheduling noise, which is
         what the service-time characterization and simulator calibration
-        need: the sum of shard times *is* the query's CPU demand.
+        need: the sum of shard times *is* the query's CPU demand.  The
+        hedging policy never applies here.
         """
         self._ensure_open()
         total_start = time.perf_counter()
@@ -176,13 +261,17 @@ class IndexServingNode:
         parse_end = time.perf_counter()
 
         fanout_start = time.perf_counter()
-        shard_outputs = [
-            self._search_shard(searcher, query) for searcher in self._searchers
-        ]
+        outcome = _FanoutOutcome(
+            answered=[
+                (shard, "primary", *self._search_shard(searcher, query))
+                for shard, searcher in enumerate(self._searchers)
+            ],
+            num_shards=len(self._searchers),
+        )
         fanout_end = time.perf_counter()
 
         return self._assemble(
-            text, query, shard_outputs,
+            text, query, outcome,
             parse_start, parse_end, fanout_start, fanout_end, total_start,
         )
 
@@ -208,6 +297,172 @@ class IndexServingNode:
         start = time.perf_counter()
         result = searcher.search(query)
         return result, start, time.perf_counter()
+
+    @staticmethod
+    def _search_shard_attempt(
+        searcher: ShardSearcher,
+        query: ParsedQuery,
+        cancel: threading.Event,
+    ):
+        """One cancellable hedged attempt against one shard."""
+        start = time.perf_counter()
+        result = searcher.search(query, cancel=cancel)
+        return result, start, time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # tail-tolerant fan-out
+
+    def _fanout_hedged(
+        self, query: ParsedQuery, fanout_start: float
+    ) -> _FanoutOutcome:
+        """Event-driven gather with deadlines, hedges, and retries.
+
+        The loop waits on in-flight attempts with a timeout equal to
+        the next timer (hedge fire, deadline, retry backoff), processes
+        whichever happens first, and exits once every shard is decided
+        — answered, deadline-missed, or failed beyond the retry budget.
+        """
+        policy = self._hedging
+        n = len(self._searchers)
+        delay = policy.resolve_hedge_delay(self._latency_tracker)
+        deadline = policy.deadline_s
+
+        answered: Dict[int, tuple] = {}
+        missed: List[bool] = [False] * n
+        hedge_counts = [0] * n
+        retry_counts = [0] * n
+        next_hedge_at: List[Optional[float]] = [
+            fanout_start + delay if delay is not None else None
+        ] * n
+        deadline_at: List[Optional[float]] = [
+            fanout_start + deadline if deadline is not None else None
+        ] * n
+        resubmit_at: Dict[int, float] = {}
+        pending: Dict[Future, Tuple[int, str]] = {}
+        cancel_tokens: Dict[Future, threading.Event] = {}
+        shard_futures: Dict[int, List[Future]] = {i: [] for i in range(n)}
+        outcome = _FanoutOutcome(answered=[], num_shards=n)
+
+        def decided(shard: int) -> bool:
+            return shard in answered or missed[shard]
+
+        def submit(shard: int, kind: str) -> None:
+            token = threading.Event()
+            future = self._pool.submit(
+                self._search_shard_attempt,
+                self._searchers[shard],
+                query,
+                token,
+            )
+            pending[future] = (shard, kind)
+            cancel_tokens[future] = token
+            shard_futures[shard].append(future)
+
+        def cancel_shard(shard: int, keep: Optional[Future] = None) -> None:
+            for future in shard_futures[shard]:
+                if future is keep:
+                    continue
+                cancel_tokens[future].set()
+                future.cancel()
+
+        for shard in range(n):
+            submit(shard, "primary")
+
+        while not all(decided(shard) for shard in range(n)):
+            now = time.perf_counter()
+            timers: List[float] = []
+            for shard in range(n):
+                if decided(shard):
+                    continue
+                if shard in resubmit_at:
+                    timers.append(resubmit_at[shard])
+                if (
+                    next_hedge_at[shard] is not None
+                    and hedge_counts[shard] < policy.max_hedges
+                ):
+                    timers.append(next_hedge_at[shard])
+                if deadline_at[shard] is not None:
+                    timers.append(deadline_at[shard])
+            live = [
+                future
+                for future, (shard, _) in pending.items()
+                if not decided(shard)
+            ]
+            timeout = max(0.0, min(timers) - now) if timers else None
+            if live:
+                done, _ = futures_wait(
+                    live, timeout=timeout, return_when=FIRST_COMPLETED
+                )
+            elif timers:
+                time.sleep(timeout)
+                done = set()
+            else:
+                # Defensive: no attempt in flight and no timer left —
+                # give up on whatever is undecided rather than spin.
+                for shard in range(n):
+                    if not decided(shard):
+                        missed[shard] = True
+                        outcome.failures += 1
+                break
+
+            for future in done:
+                shard, kind = pending.pop(future)
+                if decided(shard):
+                    continue  # a loser finishing after the verdict
+                try:
+                    result, start, end = future.result()
+                except SearchCancelled:
+                    continue
+                except Exception:
+                    if retry_counts[shard] < policy.max_retries:
+                        backoff = policy.retry_delay(retry_counts[shard])
+                        retry_counts[shard] += 1
+                        outcome.retries += 1
+                        resubmit_at[shard] = time.perf_counter() + backoff
+                    else:
+                        missed[shard] = True
+                        outcome.failures += 1
+                        cancel_shard(shard)
+                    continue
+                answered[shard] = (shard, kind, result, start, end)
+                self._latency_tracker.observe(end - start)
+                if kind == "hedge":
+                    outcome.hedges_won += 1
+                if policy.cancel_losers:
+                    cancel_shard(shard, keep=future)
+
+            now = time.perf_counter()
+            for shard in range(n):
+                if decided(shard):
+                    continue
+                if shard in resubmit_at and now >= resubmit_at[shard]:
+                    del resubmit_at[shard]
+                    submit(shard, "retry")
+                if deadline_at[shard] is not None and now >= deadline_at[shard]:
+                    missed[shard] = True
+                    outcome.deadline_misses += 1
+                    resubmit_at.pop(shard, None)
+                    cancel_shard(shard)
+                    continue
+                if (
+                    next_hedge_at[shard] is not None
+                    and hedge_counts[shard] < policy.max_hedges
+                    and now >= next_hedge_at[shard]
+                ):
+                    hedge_counts[shard] += 1
+                    outcome.hedges_issued += 1
+                    submit(shard, "hedge")
+                    next_hedge_at[shard] = (
+                        now + delay
+                        if hedge_counts[shard] < policy.max_hedges
+                        else None
+                    )
+
+        outcome.answered = [answered[s] for s in sorted(answered)]
+        outcome.missed_shards = tuple(
+            shard for shard in range(n) if shard not in answered
+        )
+        return outcome
 
     def _respond_from_cache(
         self,
@@ -243,7 +498,7 @@ class IndexServingNode:
         self,
         text: str,
         query: ParsedQuery,
-        shard_outputs,
+        outcome: _FanoutOutcome,
         parse_start: float,
         parse_end: float,
         fanout_start: float,
@@ -252,24 +507,39 @@ class IndexServingNode:
     ) -> IsnResponse:
         merge_start = time.perf_counter()
         hits = merge_shard_results(
-            [result.hits for result, _, _ in shard_outputs], k=query.k
+            [result.hits for _, _, result, _, _ in outcome.answered],
+            k=query.k,
         )
         merge_end = time.perf_counter()
         total_end = time.perf_counter()
 
         matched_volume = sum(
-            result.matched_volume for result, _, _ in shard_outputs
+            result.matched_volume for _, _, result, _, _ in outcome.answered
         )
         if self._metrics is not None:
             self._metrics.counter("isn.queries").add()
             self._metrics.histogram("isn.service_seconds").observe(
                 total_end - total_start
             )
+            if self._hedging is not None:
+                self._metrics.counter("isn.hedges_issued").add(
+                    outcome.hedges_issued
+                )
+                self._metrics.counter("isn.hedges_won").add(
+                    outcome.hedges_won
+                )
+                self._metrics.counter("isn.deadline_misses").add(
+                    outcome.deadline_misses
+                )
+                self._metrics.counter("isn.retries").add(outcome.retries)
+                self._metrics.histogram(
+                    "isn.coverage", bin_edges=COVERAGE_BUCKETS
+                ).observe(outcome.coverage)
 
         trace = None
         if self._tracing:
             trace = self._record_trace(
-                text, query, shard_outputs,
+                text, query, outcome,
                 parse_start, parse_end, fanout_start, fanout_end,
                 merge_start, merge_end, total_start, total_end,
             )
@@ -277,7 +547,9 @@ class IndexServingNode:
         else:
             timings = ComponentTimings(
                 parse_seconds=parse_end - parse_start,
-                shard_seconds=[end - start for _, start, end in shard_outputs],
+                shard_seconds=[
+                    end - start for _, _, _, start, end in outcome.answered
+                ],
                 fanout_seconds=fanout_end - fanout_start,
                 merge_seconds=merge_end - merge_start,
                 total_seconds=total_end - total_start,
@@ -286,6 +558,10 @@ class IndexServingNode:
             hits=tuple(hits),
             timings=timings,
             matched_volume=matched_volume,
+            coverage=outcome.coverage,
+            hedges_issued=outcome.hedges_issued,
+            hedges_won=outcome.hedges_won,
+            deadline_misses=outcome.deadline_misses,
             trace=trace,
         )
 
@@ -293,7 +569,7 @@ class IndexServingNode:
         self,
         text: str,
         query: ParsedQuery,
-        shard_outputs,
+        outcome: _FanoutOutcome,
         parse_start: float,
         parse_end: float,
         fanout_start: float,
@@ -304,10 +580,22 @@ class IndexServingNode:
         total_end: float,
     ) -> Span:
         tracer = self._tracer
+        root_attributes = {
+            "query": text,
+            "k": query.k,
+            "mode": query.mode.value,
+            "num_partitions": self.num_partitions,
+        }
+        if self._hedging is not None:
+            root_attributes.update(
+                coverage=outcome.coverage,
+                hedges_issued=outcome.hedges_issued,
+                hedges_won=outcome.hedges_won,
+                deadline_misses=outcome.deadline_misses,
+            )
         root = tracer.record_span(
             "isn.execute", start=total_start, end=total_end,
-            query=text, k=query.k, mode=query.mode.value,
-            num_partitions=self.num_partitions,
+            **root_attributes,
         )
         tracer.record_span(
             "parse", start=parse_start, end=parse_end, parent=root,
@@ -316,15 +604,25 @@ class IndexServingNode:
         fanout = tracer.record_span(
             "fanout", start=fanout_start, end=fanout_end, parent=root
         )
-        for shard_index, (result, start, end) in enumerate(shard_outputs):
+        for shard_index, kind, result, start, end in outcome.answered:
+            attributes = {
+                "shard": shard_index,
+                "postings_scanned": result.matched_volume,
+                "num_hits": len(result.hits),
+            }
+            if self._hedging is not None:
+                attributes["attempt"] = kind
+                attributes["hedged"] = kind == "hedge"
             tracer.record_span(
-                "shard", start=start, end=end, parent=fanout,
-                shard=shard_index,
-                postings_scanned=result.matched_volume,
-                num_hits=len(result.hits),
+                "shard", start=start, end=end, parent=fanout, **attributes
+            )
+        for shard_index in outcome.missed_shards:
+            tracer.record_span(
+                "shard", start=fanout_start, end=fanout_end, parent=fanout,
+                shard=shard_index, deadline_missed=True,
             )
         tracer.record_span(
             "merge", start=merge_start, end=merge_end, parent=root,
-            num_shards=len(shard_outputs),
+            num_shards=len(outcome.answered),
         )
         return root

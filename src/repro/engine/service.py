@@ -12,6 +12,7 @@ from typing import List, Optional, Tuple
 
 from repro.corpus.generator import CorpusConfig, CorpusGenerator
 from repro.corpus.querylog import QueryLog, QueryLogConfig, QueryLogGenerator
+from repro.engine.hedging import HedgingPolicy
 from repro.engine.isn import IndexServingNode, IsnResponse
 from repro.engine.snippets import Snippet, SnippetGenerator
 from repro.index.partitioner import (
@@ -38,6 +39,35 @@ class ResultPageEntry:
     snippet: Snippet
 
 
+class SearchPage(List[ResultPageEntry]):
+    """A rendered result page: a list of entries plus query metadata.
+
+    Subclassing ``list`` keeps every pre-existing caller working
+    (iteration, indexing, ``len``) while giving the page the common
+    query-outcome accessors (``latency_s``, ``coverage``,
+    ``doc_ids()``) shared with :class:`IsnResponse` and the cluster
+    tier's records.
+    """
+
+    def __init__(self, entries, response: IsnResponse):
+        super().__init__(entries)
+        self.response = response
+
+    @property
+    def latency_s(self) -> float:
+        """The backing query's end-to-end service time in seconds."""
+        return self.response.latency_s
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of shards whose answer made the merge."""
+        return self.response.coverage
+
+    def doc_ids(self) -> List[int]:
+        """Global doc ids of the page's hits, best first."""
+        return [entry.hit.doc_id for entry in self]
+
+
 @dataclass(frozen=True)
 class SearchServiceConfig:
     """Configuration of a complete search service instance."""
@@ -49,6 +79,7 @@ class SearchServiceConfig:
     algorithm: str = "daat"
     use_global_stats: bool = True
     num_threads: Optional[int] = None
+    hedging: Optional[HedgingPolicy] = None
 
     def __post_init__(self) -> None:
         if self.num_partitions <= 0:
@@ -88,6 +119,7 @@ class SearchService:
             num_threads=config.num_threads,
             algorithm=config.algorithm,
             use_global_stats=config.use_global_stats,
+            hedging=config.hedging,
             tracer=tracer,
             metrics=metrics,
         )
@@ -123,21 +155,23 @@ class SearchService:
         text: str,
         k: int = DEFAULT_TOP_K,
         mode: QueryMode = QueryMode.OR,
-    ) -> List[ResultPageEntry]:
+    ) -> SearchPage:
         """Answer a query and render the full result page.
 
         Each entry carries the document's URL, title, and a
         query-highlighted snippet — the complete response the
-        benchmark's frontend returns to clients.
+        benchmark's frontend returns to clients.  The returned
+        :class:`SearchPage` is a list of entries that also exposes
+        ``latency_s``/``coverage``/``doc_ids()``.
         """
         with self.tracer.span("search_page", query=text):
             response = self.isn.execute(text, k=k, mode=mode)
             terms = list(self.analyzer.analyze(text))
-            page: List[ResultPageEntry] = []
+            entries: List[ResultPageEntry] = []
             with self.tracer.span("snippets", num_hits=len(response.hits)):
                 for hit in response.hits:
                     document = self.collection[hit.doc_id]
-                    page.append(
+                    entries.append(
                         ResultPageEntry(
                             hit=hit,
                             url=document.url,
@@ -145,7 +179,7 @@ class SearchService:
                             snippet=self._snippets.snippet(document, terms),
                         )
                     )
-        return page
+        return SearchPage(entries, response)
 
     def search_phrase(
         self, text: str, k: int = DEFAULT_TOP_K

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple, Union
 
@@ -17,6 +18,16 @@ from repro.search.wand import score_wand
 
 #: Supported traversal algorithms.
 ALGORITHMS = ("daat", "taat", "wand")
+
+
+class SearchCancelled(RuntimeError):
+    """Raised when a search attempt observes its cancellation token.
+
+    The hedged fan-out (:mod:`repro.engine.isn`) sets a loser attempt's
+    token the moment a sibling wins; the attempt abandons its work at
+    the next cancellation point instead of computing a result nobody
+    will read.
+    """
 
 
 @dataclass(frozen=True)
@@ -95,8 +106,19 @@ class Searcher:
         query: Union[str, ParsedQuery],
         mode: QueryMode = QueryMode.OR,
         k: int = DEFAULT_TOP_K,
+        cancel: Optional[threading.Event] = None,
     ) -> SearchResult:
-        """Evaluate ``query`` (raw text or pre-parsed) and return results."""
+        """Evaluate ``query`` (raw text or pre-parsed) and return results.
+
+        ``cancel`` is an optional cancellation token: when set before
+        the traversal starts, the attempt raises :class:`SearchCancelled`
+        instead of doing the work (cancel-on-first-winner support for
+        hedged fan-outs).
+        """
+        if cancel is not None and cancel.is_set():
+            raise SearchCancelled(
+                f"attempt cancelled before traversal of {query!r}"
+            )
         if isinstance(query, str):
             query = self.parse(query, mode=mode, k=k)
         scorer = self._make_scorer()
@@ -152,9 +174,14 @@ class ShardSearcher:
         query: Union[str, ParsedQuery],
         mode: QueryMode = QueryMode.OR,
         k: int = DEFAULT_TOP_K,
+        cancel: Optional[threading.Event] = None,
     ) -> SearchResult:
-        """Search the shard; hits carry global doc ids."""
-        local = self._searcher.search(query, mode=mode, k=k)
+        """Search the shard; hits carry global doc ids.
+
+        ``cancel`` is forwarded to the underlying searcher; a set token
+        raises :class:`SearchCancelled` before the traversal begins.
+        """
+        local = self._searcher.search(query, mode=mode, k=k, cancel=cancel)
         global_hits = tuple(
             SearchHit(score=hit.score, doc_id=self.shard.to_global(hit.doc_id))
             for hit in local.hits

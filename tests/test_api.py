@@ -1,0 +1,186 @@
+"""The ``repro.api`` facade: construction, protocol, and deprecations."""
+
+import warnings
+
+import pytest
+
+import repro
+from repro.api import (
+    ClusterConfig,
+    ClusterModel,
+    CorpusConfig,
+    EngineConfig,
+    FanoutQueryRecord,
+    HedgingPolicy,
+    HiccupConfig,
+    IsnResponse,
+    PartitionModelConfig,
+    QueryLogConfig,
+    QueryOutcome,
+    SearchEngine,
+    SearchPage,
+    VocabularyConfig,
+)
+from repro.cluster.replication import HedgeConfig
+
+TINY_ENGINE = EngineConfig(
+    corpus=CorpusConfig(
+        num_documents=150,
+        vocabulary=VocabularyConfig(size=1_000, seed=3),
+        mean_length=40,
+        seed=11,
+    ),
+    query_log=QueryLogConfig(num_unique_queries=20, seed=5),
+    num_partitions=2,
+)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    with SearchEngine(TINY_ENGINE) as engine:
+        yield engine
+
+
+class TestFacadeSurface:
+    def test_blessed_import_line(self):
+        # The one import the docs promise.
+        from repro.api import (  # noqa: F401
+            ClusterModel,
+            HedgingPolicy,
+            SearchEngine,
+        )
+
+    def test_top_level_reexports(self):
+        assert repro.SearchEngine is SearchEngine
+        assert repro.ClusterModel is ClusterModel
+        assert repro.HedgingPolicy is HedgingPolicy
+        assert repro.api.__name__ == "repro.api"
+
+    def test_all_names_resolve(self):
+        for name in repro.api.__all__:
+            assert getattr(repro.api, name) is not None
+
+    def test_importing_api_emits_no_deprecation_warnings(self):
+        import importlib
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            importlib.reload(repro.api)
+
+
+class TestSearchEngine:
+    def test_config_is_keyword_only(self):
+        with pytest.raises(TypeError):
+            EngineConfig(CorpusConfig())
+
+    def test_config_xor_overrides(self):
+        with pytest.raises(TypeError):
+            SearchEngine(TINY_ENGINE, num_partitions=4)
+
+    def test_overrides_build_a_config(self, engine):
+        assert engine.config.num_partitions == 2
+        assert engine.num_partitions == 2
+
+    def test_search_returns_protocol_outcome(self, engine):
+        response = engine.search(engine.query_log[0].text, k=5)
+        assert isinstance(response, IsnResponse)
+        assert isinstance(response, QueryOutcome)
+        assert response.latency_s > 0
+        assert response.coverage == 1.0
+        assert len(response.doc_ids()) <= 5
+
+    def test_search_page_is_a_list_and_an_outcome(self, engine):
+        page = engine.search_page(engine.query_log[0].text, k=5)
+        assert isinstance(page, SearchPage)
+        assert isinstance(page, list)
+        assert isinstance(page, QueryOutcome)
+        assert page.latency_s > 0
+        assert page.coverage == 1.0
+        assert page.doc_ids() == [entry.hit.doc_id for entry in page]
+
+    def test_document_lookup(self, engine):
+        response = engine.search(engine.query_log[0].text, k=1)
+        if response.doc_ids():
+            document = engine.document(response.doc_ids()[0])
+            assert document.url
+
+    def test_hedging_policy_threads_through(self):
+        config = EngineConfig(
+            corpus=TINY_ENGINE.corpus,
+            query_log=TINY_ENGINE.query_log,
+            num_partitions=2,
+            hedging=HedgingPolicy(hedge_delay_s=0.05),
+        )
+        with SearchEngine(config) as engine:
+            assert engine.service.isn.hedging is not None
+            response = engine.search(engine.query_log[0].text)
+            assert response.coverage == 1.0
+
+
+class TestClusterModel:
+    def test_run_returns_protocol_outcomes(self):
+        model = ClusterModel(num_servers=2, num_partitions=4)
+        result = model.run(rate_qps=50.0, num_queries=100, seed=1)
+        assert len(result) == 100
+        record = result.records[0]
+        assert isinstance(record, FanoutQueryRecord)
+        assert isinstance(record, QueryOutcome)
+        assert record.latency_s > 0
+        assert record.coverage == 1.0
+        assert record.doc_ids() == []
+
+    def test_config_xor_overrides(self):
+        with pytest.raises(TypeError):
+            ClusterModel(ClusterConfig(num_servers=2), num_servers=4)
+
+    def test_num_partitions_shortcut_builds_partitioning(self):
+        model = ClusterModel(num_partitions=8)
+        assert model.fanout_config.partitioning.num_partitions == 8
+
+    def test_inconsistent_partitioning_rejected(self):
+        config = ClusterConfig(
+            num_partitions=8,
+            partitioning=PartitionModelConfig(num_partitions=4),
+        )
+        with pytest.raises(ValueError):
+            config.to_fanout_config()
+
+    def test_tail_features_reach_the_fanout_config(self):
+        policy = HedgingPolicy(hedge_delay_s=0.01, deadline_s=0.2)
+        model = ClusterModel(
+            num_servers=2,
+            replicas_per_shard=2,
+            hiccups=HiccupConfig(mean_interval=1.0, pause_duration=0.02),
+            hedging=policy,
+        )
+        fanout = model.fanout_config
+        assert fanout.hedging is policy
+        assert fanout.replicas_per_shard == 2
+        assert fanout.tail_tolerant
+
+
+class TestHedgeConfigDeprecationShim:
+    def test_new_spelling_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            config = HedgeConfig(delay_s=0.01)
+        assert config.delay_s == 0.01
+
+    def test_old_keyword_warns_and_maps(self):
+        with pytest.warns(DeprecationWarning, match="delay_s"):
+            config = HedgeConfig(delay=0.02)
+        assert config.delay_s == 0.02
+
+    def test_old_attribute_warns(self):
+        config = HedgeConfig(delay_s=0.03)
+        with pytest.warns(DeprecationWarning, match="delay_s"):
+            assert config.delay == 0.03
+
+    def test_both_spellings_rejected(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError):
+                HedgeConfig(delay_s=0.01, delay=0.02)
+
+    def test_missing_delay_rejected(self):
+        with pytest.raises(TypeError):
+            HedgeConfig()

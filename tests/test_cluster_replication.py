@@ -50,9 +50,9 @@ class TestReplicatedClusterConfig:
         with pytest.raises(ValueError):
             config(replicas=0)
         with pytest.raises(ValueError):
-            config(replicas=1, hedge=HedgeConfig(delay=0.01))
+            config(replicas=1, hedge=HedgeConfig(delay_s=0.01))
         with pytest.raises(ValueError):
-            HedgeConfig(delay=0.0)
+            HedgeConfig(delay_s=0.0)
 
     def test_num_servers(self):
         assert config(num_shards=3, replicas=2).num_servers == 6
@@ -78,17 +78,17 @@ class TestRunReplicatedOpenLoop:
         assert len(result) == 500
 
     def test_hedging_issues_duplicates(self):
-        hedged = config(hedge=HedgeConfig(delay=0.01))
+        hedged = config(hedge=HedgeConfig(delay_s=0.01))
         result = run_replicated_open_loop(hedged, scenario())
         assert result.total_hedges > 0
         assert 0.0 < result.hedge_fraction < 1.0
 
     def test_late_hedge_deadline_rarely_fires(self):
         early = run_replicated_open_loop(
-            config(hedge=HedgeConfig(delay=0.005)), scenario()
+            config(hedge=HedgeConfig(delay_s=0.005)), scenario()
         )
         late = run_replicated_open_loop(
-            config(hedge=HedgeConfig(delay=0.2)), scenario()
+            config(hedge=HedgeConfig(delay_s=0.2)), scenario()
         )
         assert late.total_hedges < early.total_hedges
 
@@ -113,7 +113,7 @@ class TestRunReplicatedOpenLoop:
             config(hiccups=pauses), scenario(), seed=1
         )
         hedged = run_replicated_open_loop(
-            config(hiccups=pauses, hedge=HedgeConfig(delay=0.02)),
+            config(hiccups=pauses, hedge=HedgeConfig(delay_s=0.02)),
             scenario(),
             seed=1,
         )

@@ -140,6 +140,6 @@ class TestOutageFailover:
     def test_hedging_rescues_stuck_requests(self):
         plain = self._run(ReplicaSelection.RANDOM)
         hedged = self._run(
-            ReplicaSelection.RANDOM, hedge=HedgeConfig(delay=0.02)
+            ReplicaSelection.RANDOM, hedge=HedgeConfig(delay_s=0.02)
         )
         assert hedged.summary().max < 0.3 * plain.summary().max
