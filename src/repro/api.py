@@ -11,6 +11,14 @@ Everything a user script needs lives here, under three entry points:
 - :class:`HedgingPolicy` — the tail-tolerance policy (deadlines,
   hedged requests, bounded retry) interpreted identically by both.
 
+The resilience layer follows the same pattern: declarative
+:class:`OverloadPolicy` (admission control / load shedding),
+:class:`BreakerConfig` (per-shard circuit breakers), and
+:class:`FaultPlan` (the chaos harness) objects are interpreted by both
+the native engine and the simulated cluster.  A query refused by
+admission control is a :class:`ShedResponse` — still a
+:class:`QueryOutcome`, with ``coverage == 0.0`` and ``shed`` True.
+
 Both entry points produce *query outcomes* satisfying the
 :class:`QueryOutcome` protocol — ``latency_s``, ``coverage``, and
 ``doc_ids()`` — so analysis code is agnostic to which path produced a
@@ -54,7 +62,19 @@ from repro.engine.service import (
     SearchServiceConfig,
 )
 from repro.index.partitioner import PartitionStrategy
-from repro.metrics.summary import LatencySummary, summarize
+from repro.resilience.admission import (
+    AimdConfig,
+    OverloadPolicy,
+    ShedResponse,
+)
+from repro.resilience.breaker import BreakerConfig, BreakerState
+from repro.resilience.faults import (
+    ErrorBurst,
+    FaultPlan,
+    ShardCrash,
+    ShardSlowdown,
+)
+from repro.metrics.summary import EMPTY_SUMMARY, LatencySummary, summarize
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracing import Tracer
 from repro.servers.catalog import BIG_SERVER, MID_SERVER, SMALL_SERVER
@@ -88,7 +108,18 @@ __all__ = [
     "FanoutQueryRecord",
     "FanoutResult",
     "LatencySummary",
+    "EMPTY_SUMMARY",
     "summarize",
+    # resilience: overload control, circuit breaking, chaos
+    "OverloadPolicy",
+    "AimdConfig",
+    "ShedResponse",
+    "BreakerConfig",
+    "BreakerState",
+    "FaultPlan",
+    "ShardCrash",
+    "ShardSlowdown",
+    "ErrorBurst",
     # corpus / workload / infrastructure building blocks
     "CorpusConfig",
     "VocabularyConfig",
@@ -160,6 +191,9 @@ class EngineConfig:
     use_global_stats: bool = True
     num_threads: Optional[int] = None
     hedging: Optional[HedgingPolicy] = None
+    overload: Optional[OverloadPolicy] = None
+    breakers: Optional[BreakerConfig] = None
+    faults: Optional[FaultPlan] = None
 
     def to_service_config(self) -> SearchServiceConfig:
         """The internal config this maps onto."""
@@ -172,6 +206,9 @@ class EngineConfig:
             use_global_stats=self.use_global_stats,
             num_threads=self.num_threads,
             hedging=self.hedging,
+            overload=self.overload,
+            breakers=self.breakers,
+            faults=self.faults,
         )
 
 
@@ -265,6 +302,9 @@ class ClusterConfig:
     replicas_per_shard: int = 1
     hiccups: Optional[HiccupConfig] = None
     outages: Tuple[OutageSpec, ...] = ()
+    overload: Optional[OverloadPolicy] = None
+    breakers: Optional[BreakerConfig] = None
+    faults: Optional[FaultPlan] = None
 
     def to_fanout_config(self) -> FanoutConfig:
         """The internal config this maps onto."""
@@ -290,6 +330,9 @@ class ClusterConfig:
             replicas_per_shard=self.replicas_per_shard,
             hiccups=self.hiccups,
             outages=self.outages,
+            overload=self.overload,
+            breakers=self.breakers,
+            faults=self.faults,
         )
 
 

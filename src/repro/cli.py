@@ -11,7 +11,9 @@ fast default configurations:
 - ``cache`` — result-cache hit rates (F11a);
 - ``profile-log`` — workload-side characterization of the query log;
 - ``report`` — full Markdown characterization report;
-- ``trace`` — run one query with tracing on and print its span tree.
+- ``trace`` — run one query with tracing on and print its span tree;
+- ``chaos`` — fault-injected simulated run under overload protection
+  (``--dry-run`` prints the fault schedule without running).
 
 Every command accepts ``--docs``/``--seed`` to scale and reseed.
 """
@@ -323,6 +325,77 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.api import (
+        BreakerConfig,
+        ClusterModel,
+        FaultPlan,
+        OverloadPolicy,
+    )
+
+    horizon = args.sim_queries / args.rate
+    plan = FaultPlan.flapping_shard(
+        args.flap_shard,
+        period_s=args.flap_period,
+        duty=args.flap_duty,
+        horizon_s=horizon,
+        seed=args.seed,
+    )
+    if args.dry_run:
+        print(
+            f"chaos plan: {args.servers} servers at {args.rate:g} qps, "
+            f"~{horizon:.1f}s simulated horizon"
+        )
+        for line in plan.describe():
+            print(f"  {line}")
+        print("(dry run: nothing executed)")
+        return 0
+
+    protected = not args.unprotected
+    model = ClusterModel(
+        num_servers=args.servers,
+        replicas_per_shard=args.replicas,
+        hedging=HedgingPolicy(deadline_s=args.deadline_ms / 1000.0),
+        breakers=(
+            BreakerConfig(
+                failure_threshold=args.breaker_failures,
+                recovery_time_s=args.breaker_recovery_s,
+            )
+            if protected
+            else None
+        ),
+        overload=(
+            OverloadPolicy(max_concurrency=args.max_concurrency)
+            if protected
+            else None
+        ),
+        faults=plan,
+    )
+    result = model.run(
+        rate_qps=args.rate, num_queries=args.sim_queries, seed=args.seed
+    )
+    summary = result.summary()
+    print(
+        format_table(
+            ["statistic", "value"],
+            [
+                ["mode", "protected" if protected else "unprotected"],
+                ["queries", len(result)],
+                ["served", len(result) - result.shed_count],
+                ["shed", result.shed_count],
+                ["goodput (qps)", round(result.goodput_qps(), 1)],
+                ["mean coverage", round(result.mean_coverage(), 3)],
+                ["p50 (ms)", round(summary.p50 * 1000, 2)],
+                ["p99 (ms)", round(summary.p99 * 1000, 2)],
+                ["shard failures", list(result.shard_failures)],
+                ["breaker skips", result.breaker_skips],
+            ],
+            title=f"Chaos run: flapping shard {args.flap_shard}",
+        )
+    )
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.core.report import ReportOptions, characterization_report
 
@@ -419,6 +492,35 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--metrics-csv", default=None,
                        help="also export the metrics registry as CSV")
     trace.set_defaults(handler=cmd_trace)
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="fault-injected simulated run with overload protection",
+    )
+    chaos.add_argument("--servers", type=int, default=4)
+    chaos.add_argument("--replicas", type=int, default=1)
+    chaos.add_argument("--rate", type=float, default=300.0,
+                       help="offered load (queries/second)")
+    chaos.add_argument("--sim-queries", type=int, default=2_000)
+    chaos.add_argument("--flap-shard", type=int, default=1,
+                       help="index of the shard that flaps")
+    chaos.add_argument("--flap-period", type=float, default=0.5,
+                       help="seconds between crashes of the flapping shard")
+    chaos.add_argument("--flap-duty", type=float, default=0.6,
+                       help="fraction of each period the shard is down")
+    chaos.add_argument("--deadline-ms", type=float, default=50.0,
+                       help="per-query deadline (graceful degradation)")
+    chaos.add_argument("--breaker-failures", type=int, default=3,
+                       help="consecutive failures before a breaker opens")
+    chaos.add_argument("--breaker-recovery-s", type=float, default=0.25,
+                       help="open time before a breaker probes again")
+    chaos.add_argument("--max-concurrency", type=int, default=64,
+                       help="admission-control concurrency limit")
+    chaos.add_argument("--unprotected", action="store_true",
+                       help="disable breakers and admission control")
+    chaos.add_argument("--dry-run", action="store_true",
+                       help="print the fault schedule and exit")
+    chaos.set_defaults(handler=cmd_chaos)
 
     report = subparsers.add_parser(
         "report", help="full Markdown characterization report"

@@ -30,7 +30,11 @@ from repro.workload.arrivals import ClosedLoopSpec
 
 @dataclass(frozen=True)
 class QueryMeasurement:
-    """One replayed query and its measured cost."""
+    """One replayed query and its measured cost.
+
+    ``shed`` is True when the admission layer refused the query (its
+    ``service_seconds`` is then time-to-refusal, not service time).
+    """
 
     query_id: int
     text: str
@@ -38,6 +42,7 @@ class QueryMeasurement:
     service_seconds: float
     matched_volume: int
     num_hits: int
+    shed: bool = False
 
 
 def replay_serial(
@@ -66,15 +71,18 @@ def replay_serial(
         response = None
         for _ in range(repeats):
             response = isn.execute_serial(query.text, k=k)
-            times.append(response.timings.total_seconds)
+            # latency_s is the protocol accessor shared by served and
+            # shed outcomes (ShedResponse has no component timings).
+            times.append(response.latency_s)
         measurements.append(
             QueryMeasurement(
                 query_id=query.query_id,
                 text=query.text,
                 num_raw_terms=len(query.raw_terms),
                 service_seconds=float(np.median(times)),
-                matched_volume=response.matched_volume,
+                matched_volume=getattr(response, "matched_volume", 0),
                 num_hits=len(response.hits),
+                shed=getattr(response, "shed", False),
             )
         )
     return measurements
@@ -82,17 +90,36 @@ def replay_serial(
 
 @dataclass
 class ClosedLoopResult:
-    """Outcome of one closed-loop native run."""
+    """Outcome of one closed-loop native run.
+
+    ``latencies`` holds *served* response times only; ``shed_count``
+    tallies queries the admission layer refused (they completed fast,
+    but with no answer, and must not pollute the latency distribution).
+    """
 
     latencies: np.ndarray
     wall_seconds: float
+    shed_count: int = 0
+
+    @property
+    def served_count(self) -> int:
+        """Queries that received a real answer."""
+        return len(self.latencies)
 
     @property
     def throughput_qps(self) -> float:
-        """Completed queries per wall-clock second."""
+        """Served queries per wall-clock second."""
         if self.wall_seconds <= 0:
             return float("inf")
         return len(self.latencies) / self.wall_seconds
+
+    @property
+    def shed_fraction(self) -> float:
+        """Fraction of issued queries the admission layer refused."""
+        total = self.served_count + self.shed_count
+        if total == 0:
+            return 0.0
+        return self.shed_count / total
 
 
 class ClosedLoopDriver:
@@ -118,6 +145,7 @@ class ClosedLoopDriver:
             raise ValueError("num_queries must be positive")
         lock = threading.Lock()
         latencies: List[float] = []
+        shed_count = 0
         remaining = num_queries
         # Pre-sample each client's private query stream and think times
         # so client threads never contend on a shared RNG.
@@ -134,7 +162,7 @@ class ClosedLoopDriver:
             client_plans.append((queries, thinks))
 
         def client_body(plan) -> None:
-            nonlocal remaining
+            nonlocal remaining, shed_count
             queries, thinks = plan
             for query, think in zip(queries, thinks):
                 with lock:
@@ -143,10 +171,13 @@ class ClosedLoopDriver:
                     remaining -= 1
                 time.sleep(float(think))
                 start = time.perf_counter()
-                self.isn.execute(query.text, k=self.k)
+                response = self.isn.execute(query.text, k=self.k)
                 elapsed = time.perf_counter() - start
                 with lock:
-                    latencies.append(elapsed)
+                    if getattr(response, "shed", False):
+                        shed_count += 1
+                    else:
+                        latencies.append(elapsed)
 
         wall_start = time.perf_counter()
         threads = [
@@ -161,4 +192,5 @@ class ClosedLoopDriver:
         return ClosedLoopResult(
             latencies=np.asarray(latencies, dtype=np.float64),
             wall_seconds=wall_seconds,
+            shed_count=shed_count,
         )

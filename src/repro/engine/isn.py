@@ -33,11 +33,14 @@ from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.engine.hedging import HedgingPolicy, ShardLatencyTracker
+from repro.engine.hedging import DISABLED_POLICY, HedgingPolicy, ShardLatencyTracker
 from repro.engine.instrumentation import ComponentTimings
 from repro.index.partitioner import PartitionedIndex
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracing import Span, Tracer
+from repro.resilience.admission import BlockingAdmissionGate, OverloadPolicy, ShedResponse
+from repro.resilience.breaker import BreakerBoard, BreakerConfig, BreakerState
+from repro.resilience.faults import FaultInjector, FaultPlan
 from repro.search.executor import SearchCancelled, ShardSearcher
 from repro.search.global_stats import global_scorer_factory
 from repro.search.merger import merge_shard_results
@@ -46,6 +49,9 @@ from repro.search.topk import SearchHit
 
 #: Linear bucket edges for the coverage histogram (fractions of shards).
 COVERAGE_BUCKETS = tuple(i / 20.0 for i in range(21))
+
+#: Bucket edges for the admission-queue-depth histogram (queries waiting).
+QUEUE_DEPTH_BUCKETS = tuple(float(i) for i in range(0, 65, 4))
 
 
 @dataclass(frozen=True)
@@ -64,7 +70,12 @@ class IsnResponse:
     hedges_issued: int = 0
     hedges_won: int = 0
     deadline_misses: int = 0
+    breaker_skips: int = 0
     trace: Optional[Span] = field(default=None, compare=False)
+
+    #: Served responses are never shed; ``getattr(outcome, "shed",
+    #: False)`` is the idiomatic served/shed split across outcome types.
+    shed = False
 
     @property
     def latency_s(self) -> float:
@@ -92,6 +103,7 @@ class _FanoutOutcome:
     deadline_misses: int = 0
     failures: int = 0
     retries: int = 0
+    breaker_skips: int = 0
     missed_shards: Tuple[int, ...] = ()
 
     @property
@@ -125,6 +137,21 @@ class IndexServingNode:
     hedging:
         Optional :class:`~repro.engine.hedging.HedgingPolicy`.  None or
         an inert policy keeps the seed's plain fan-out path.
+    overload:
+        Optional :class:`~repro.resilience.admission.OverloadPolicy`.
+        When set (and enabled), every :meth:`execute` call passes a
+        bounded admission gate first; refused queries return a
+        :class:`~repro.resilience.admission.ShedResponse` instead of
+        being served.
+    breakers:
+        Optional :class:`~repro.resilience.breaker.BreakerConfig`.
+        When set, each shard gets a circuit breaker fed by fan-out
+        failures and deadline misses; an open shard is skipped,
+        degrading coverage like a deadline miss.
+    faults:
+        Optional :class:`~repro.resilience.faults.FaultPlan` injected
+        into shard searches (chaos testing): crashes and errors raise
+        through the retry path, slowdowns pad service time.
     tracer:
         Optional span tracer.  None (the default) keeps the serving
         path span-free; a disabled tracer costs one branch per query.
@@ -140,6 +167,9 @@ class IndexServingNode:
         use_global_stats: bool = True,
         cache: Optional["QueryResultCache"] = None,
         hedging: Optional[HedgingPolicy] = None,
+        overload: Optional[OverloadPolicy] = None,
+        breakers: Optional[BreakerConfig] = None,
+        faults: Optional[FaultPlan] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
     ):
@@ -149,6 +179,19 @@ class IndexServingNode:
         self._metrics = metrics
         self._hedging = (
             hedging if hedging is not None and hedging.enabled else None
+        )
+        self._gate = (
+            BlockingAdmissionGate(overload)
+            if overload is not None and overload.enabled
+            else None
+        )
+        self._breakers = (
+            BreakerBoard(breakers) if breakers is not None else None
+        )
+        self._faults = (
+            FaultInjector(faults)
+            if faults is not None and faults.enabled
+            else None
         )
         self._latency_tracker = ShardLatencyTracker()
         scorer_factory = (
@@ -189,17 +232,83 @@ class IndexServingNode:
         return self._hedging
 
     @property
+    def admission_gate(self) -> Optional[BlockingAdmissionGate]:
+        """The active admission gate (None when no overload policy)."""
+        return self._gate
+
+    @property
+    def breaker_board(self) -> Optional[BreakerBoard]:
+        """The per-shard circuit breakers (None when unconfigured)."""
+        return self._breakers
+
+    @property
+    def fault_injector(self) -> Optional[FaultInjector]:
+        """The active chaos injector (None when no fault plan)."""
+        return self._faults
+
+    @property
     def _tracing(self) -> bool:
         return self._tracer is not None and self._tracer.enabled
+
+    @property
+    def _resilient_fanout(self) -> bool:
+        """True when the fan-out must run the event-driven gather."""
+        return (
+            self._hedging is not None
+            or self._breakers is not None
+            or self._faults is not None
+        )
 
     def execute(
         self,
         text: str,
         k: int = DEFAULT_TOP_K,
         mode: QueryMode = QueryMode.OR,
-    ) -> IsnResponse:
-        """Answer ``text`` with parallel partition fan-out."""
+    ):
+        """Answer ``text`` with parallel partition fan-out.
+
+        Returns an :class:`IsnResponse` — or, when an overload policy
+        is attached and refuses the query, a
+        :class:`~repro.resilience.admission.ShedResponse`.
+        """
         self._ensure_open()
+        if self._gate is None:
+            return self._execute_admitted(text, k, mode)
+        arrival = time.perf_counter()
+        if self._metrics is not None:
+            self._metrics.histogram(
+                "isn.admission_queue_depth", bin_edges=QUEUE_DEPTH_BUCKETS
+            ).observe(float(self._gate.controller.queue_depth))
+        reason = self._gate.acquire()
+        if reason is not None:
+            return self._shed(text, reason, arrival)
+        start = time.perf_counter()
+        try:
+            response = self._execute_admitted(text, k, mode)
+        finally:
+            self._gate.release(time.perf_counter() - start)
+        if self._metrics is not None:
+            self._metrics.counter("isn.served").add()
+        return response
+
+    def _shed(self, text: str, reason: str, arrival: float) -> ShedResponse:
+        """Build the typed refusal for a query the gate turned away."""
+        now = time.perf_counter()
+        if self._metrics is not None:
+            self._metrics.counter("isn.shed").add()
+            self._metrics.counter(f"isn.shed.{reason}").add()
+        if self._tracing:
+            self._tracer.record_span(
+                "isn.execute", start=arrival, end=now,
+                query=text, shed=True, shed_reason=reason,
+            )
+        return ShedResponse(
+            reason=reason, latency_s=now - arrival, query=text
+        )
+
+    def _execute_admitted(
+        self, text: str, k: int, mode: QueryMode
+    ) -> IsnResponse:
         total_start = time.perf_counter()
 
         parse_start = time.perf_counter()
@@ -214,7 +323,7 @@ class IndexServingNode:
                 )
 
         fanout_start = time.perf_counter()
-        if self._hedging is not None:
+        if self._resilient_fanout:
             outcome = self._fanout_hedged(query, fanout_start)
         else:
             futures = [
@@ -298,16 +407,28 @@ class IndexServingNode:
         result = searcher.search(query)
         return result, start, time.perf_counter()
 
-    @staticmethod
     def _search_shard_attempt(
+        self,
+        shard: int,
         searcher: ShardSearcher,
         query: ParsedQuery,
         cancel: threading.Event,
     ):
-        """One cancellable hedged attempt against one shard."""
+        """One cancellable hedged attempt against one shard.
+
+        With a fault plan attached, injected crashes/errors raise here
+        (flowing through the fan-out's retry machinery) and slowdowns
+        pad the measured service time.
+        """
+        if self._faults is not None:
+            self._faults.before_search(shard)
         start = time.perf_counter()
         result = searcher.search(query, cancel=cancel)
-        return result, start, time.perf_counter()
+        end = time.perf_counter()
+        if self._faults is not None:
+            self._faults.slowdown_sleep(shard, end - start)
+            end = time.perf_counter()
+        return result, start, end
 
     # ------------------------------------------------------------------
     # tail-tolerant fan-out
@@ -320,9 +441,15 @@ class IndexServingNode:
         The loop waits on in-flight attempts with a timeout equal to
         the next timer (hedge fire, deadline, retry backoff), processes
         whichever happens first, and exits once every shard is decided
-        — answered, deadline-missed, or failed beyond the retry budget.
+        — answered, deadline-missed, failed beyond the retry budget, or
+        fenced off by an open circuit breaker.
+
+        With only breakers/faults configured (no hedging policy) the
+        inert :data:`~repro.engine.hedging.DISABLED_POLICY` drives the
+        loop: no hedges, no deadlines, but the retry/failure machinery
+        the injectors and breakers need still runs.
         """
-        policy = self._hedging
+        policy = self._hedging or DISABLED_POLICY
         n = len(self._searchers)
         delay = policy.resolve_hedge_delay(self._latency_tracker)
         deadline = policy.deadline_s
@@ -350,6 +477,7 @@ class IndexServingNode:
             token = threading.Event()
             future = self._pool.submit(
                 self._search_shard_attempt,
+                shard,
                 self._searchers[shard],
                 query,
                 token,
@@ -365,8 +493,34 @@ class IndexServingNode:
                 cancel_tokens[future].set()
                 future.cancel()
 
+        def breaker_allow(shard: int, now: float) -> bool:
+            """Consult the shard's breaker (counting half-open probes)."""
+            if self._breakers is None:
+                return True
+            breaker = self._breakers.breaker(shard)
+            half_open = breaker.state(now) is BreakerState.HALF_OPEN
+            if not breaker.allow(now):
+                return False
+            if half_open and self._metrics is not None:
+                self._metrics.counter("isn.breaker_probes").add()
+            return True
+
+        def breaker_failure(shard: int, now: float) -> None:
+            if self._breakers is not None:
+                self._breakers.breaker(shard).record_failure(now)
+
+        def breaker_success(shard: int, now: float) -> None:
+            if self._breakers is not None:
+                self._breakers.breaker(shard).record_success(now)
+
         for shard in range(n):
-            submit(shard, "primary")
+            if breaker_allow(shard, fanout_start):
+                submit(shard, "primary")
+            else:
+                # Open breaker: skip the shard outright, degrading
+                # coverage exactly like a deadline miss.
+                missed[shard] = True
+                outcome.breaker_skips += 1
 
         while not all(decided(shard) for shard in range(n)):
             now = time.perf_counter()
@@ -414,6 +568,7 @@ class IndexServingNode:
                 except SearchCancelled:
                     continue
                 except Exception:
+                    breaker_failure(shard, time.perf_counter())
                     if retry_counts[shard] < policy.max_retries:
                         backoff = policy.retry_delay(retry_counts[shard])
                         retry_counts[shard] += 1
@@ -424,6 +579,7 @@ class IndexServingNode:
                         outcome.failures += 1
                         cancel_shard(shard)
                     continue
+                breaker_success(shard, end)
                 answered[shard] = (shard, kind, result, start, end)
                 self._latency_tracker.observe(end - start)
                 if kind == "hedge":
@@ -437,10 +593,20 @@ class IndexServingNode:
                     continue
                 if shard in resubmit_at and now >= resubmit_at[shard]:
                     del resubmit_at[shard]
-                    submit(shard, "retry")
+                    if breaker_allow(shard, now):
+                        submit(shard, "retry")
+                    else:
+                        # The failures that queued this retry tripped
+                        # the breaker: give up on the shard instead of
+                        # hammering it.
+                        missed[shard] = True
+                        outcome.breaker_skips += 1
+                        cancel_shard(shard)
+                        continue
                 if deadline_at[shard] is not None and now >= deadline_at[shard]:
                     missed[shard] = True
                     outcome.deadline_misses += 1
+                    breaker_failure(shard, now)
                     resubmit_at.pop(shard, None)
                     cancel_shard(shard)
                     continue
@@ -449,6 +615,12 @@ class IndexServingNode:
                     and hedge_counts[shard] < policy.max_hedges
                     and now >= next_hedge_at[shard]
                 ):
+                    if not breaker_allow(shard, now):
+                        # A tripped breaker retires this shard's hedge
+                        # timer — backup requests against a fenced-off
+                        # shard would only feed the failure count.
+                        next_hedge_at[shard] = None
+                        continue
                     hedge_counts[shard] += 1
                     outcome.hedges_issued += 1
                     submit(shard, "hedge")
@@ -521,7 +693,7 @@ class IndexServingNode:
             self._metrics.histogram("isn.service_seconds").observe(
                 total_end - total_start
             )
-            if self._hedging is not None:
+            if self._resilient_fanout:
                 self._metrics.counter("isn.hedges_issued").add(
                     outcome.hedges_issued
                 )
@@ -535,6 +707,13 @@ class IndexServingNode:
                 self._metrics.histogram(
                     "isn.coverage", bin_edges=COVERAGE_BUCKETS
                 ).observe(outcome.coverage)
+            if self._breakers is not None:
+                self._metrics.counter("isn.breaker_skips").add(
+                    outcome.breaker_skips
+                )
+                self._breakers.export_gauges(
+                    self._metrics, "isn.breaker", time.perf_counter()
+                )
 
         trace = None
         if self._tracing:
@@ -562,6 +741,7 @@ class IndexServingNode:
             hedges_issued=outcome.hedges_issued,
             hedges_won=outcome.hedges_won,
             deadline_misses=outcome.deadline_misses,
+            breaker_skips=outcome.breaker_skips,
             trace=trace,
         )
 
@@ -586,13 +766,15 @@ class IndexServingNode:
             "mode": query.mode.value,
             "num_partitions": self.num_partitions,
         }
-        if self._hedging is not None:
+        if self._resilient_fanout:
             root_attributes.update(
                 coverage=outcome.coverage,
                 hedges_issued=outcome.hedges_issued,
                 hedges_won=outcome.hedges_won,
                 deadline_misses=outcome.deadline_misses,
             )
+        if self._breakers is not None:
+            root_attributes["breaker_skips"] = outcome.breaker_skips
         root = tracer.record_span(
             "isn.execute", start=total_start, end=total_end,
             **root_attributes,
@@ -610,7 +792,7 @@ class IndexServingNode:
                 "postings_scanned": result.matched_volume,
                 "num_hits": len(result.hits),
             }
-            if self._hedging is not None:
+            if self._resilient_fanout:
                 attributes["attempt"] = kind
                 attributes["hedged"] = kind == "hedge"
             tracer.record_span(

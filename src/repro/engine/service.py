@@ -14,6 +14,9 @@ from repro.corpus.generator import CorpusConfig, CorpusGenerator
 from repro.corpus.querylog import QueryLog, QueryLogConfig, QueryLogGenerator
 from repro.engine.hedging import HedgingPolicy
 from repro.engine.isn import IndexServingNode, IsnResponse
+from repro.resilience.admission import OverloadPolicy, ShedResponse
+from repro.resilience.breaker import BreakerConfig
+from repro.resilience.faults import FaultPlan
 from repro.engine.snippets import Snippet, SnippetGenerator
 from repro.index.partitioner import (
     PartitionedIndex,
@@ -80,6 +83,9 @@ class SearchServiceConfig:
     use_global_stats: bool = True
     num_threads: Optional[int] = None
     hedging: Optional[HedgingPolicy] = None
+    overload: Optional[OverloadPolicy] = None
+    breakers: Optional[BreakerConfig] = None
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.num_partitions <= 0:
@@ -120,6 +126,9 @@ class SearchService:
             algorithm=config.algorithm,
             use_global_stats=config.use_global_stats,
             hedging=config.hedging,
+            overload=config.overload,
+            breakers=config.breakers,
+            faults=config.faults,
             tracer=tracer,
             metrics=metrics,
         )
@@ -143,7 +152,14 @@ class SearchService:
         k: int = DEFAULT_TOP_K,
         mode: QueryMode = QueryMode.OR,
     ) -> IsnResponse:
-        """Answer a query with the benchmark's parallel fan-out path."""
+        """Answer a query with the benchmark's parallel fan-out path.
+
+        With an :class:`~repro.resilience.admission.OverloadPolicy`
+        configured, a refused query returns a
+        :class:`~repro.resilience.admission.ShedResponse` instead
+        (``coverage == 0.0``, ``shed`` is True); callers split the two
+        with ``getattr(response, "shed", False)``.
+        """
         return self.isn.execute(text, k=k, mode=mode)
 
     def document(self, doc_id: int):

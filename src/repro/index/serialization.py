@@ -8,10 +8,11 @@ like the index that produced it.
 
 Format (all integers varint unless noted)::
 
-    magic   4 bytes  b"RIDX"
-    version 1 byte
-    flags   1 byte   bit0=lowercase bit1=remove_stopwords bit2=stem
+    magic    4 bytes  b"RIDX"
+    version  1 byte
+    flags    1 byte   bit0=lowercase bit1=remove_stopwords bit2=stem
     max_token_length
+    checksum 4 bytes  crc32 (little-endian) of the body below  [v2+]
     num_documents
     doc_lengths[num_documents]
     num_terms
@@ -19,17 +20,26 @@ Format (all integers varint unless noted)::
         term_utf8_length, term_utf8_bytes
         postings block (see repro.index.compression.encode_postings)
 
+Version 2 adds the body checksum: every segment read verifies the
+postings it parsed against the stored crc32 and raises
+:class:`CorruptedIndexError` on mismatch — a flipped bit in a postings
+block is detected instead of silently mis-scoring queries (and the
+chaos harness relies on exactly this detection).  Version-1 payloads
+(no checksum) still load.
+
 The default stopword set is assumed; custom stopword sets are not
 persisted (raise at save time rather than silently dropping them).
 
 A second format, ``RIXP``, persists a positional index: the postings
 block per term is followed by, for each posting, its delta-gapped
-position list — enabling phrase queries over a loaded index.
+position list — enabling phrase queries over a loaded index.  In
+version 2 the position section carries its own trailing crc32.
 """
 
 from __future__ import annotations
 
 import io
+import zlib
 from pathlib import Path
 from typing import BinaryIO, List, Union
 
@@ -49,7 +59,18 @@ from repro.text.stopwords import DEFAULT_STOPWORDS
 
 _MAGIC = b"RIDX"
 _POSITIONAL_MAGIC = b"RIXP"
-_VERSION = 1
+_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
+_CHECKSUM_BYTES = 4
+
+
+class CorruptedIndexError(ValueError):
+    """A stored index failed its integrity check on read.
+
+    Raised when a version-2 payload's crc32 does not match its body, or
+    when corruption makes the body unparseable — the storage-level
+    fault the resilience chaos harness injects and expects detected.
+    """
 
 
 def save_index(index: InvertedIndex, path: Union[str, Path]) -> int:
@@ -72,6 +93,19 @@ def serialize_index(index: InvertedIndex) -> bytes:
             "custom stopword sets are not persistable; "
             "use the default stopword set or disable stopword removal"
         )
+    body = io.BytesIO()
+    body.write(encode_varint(index.num_documents))
+    for length in index.doc_lengths:
+        body.write(encode_varint(int(length)))
+    body.write(encode_varint(index.num_terms))
+    for term_id in range(index.num_terms):
+        term = index.dictionary.term_for_id(term_id)
+        term_bytes = term.encode("utf-8")
+        body.write(encode_varint(len(term_bytes)))
+        body.write(term_bytes)
+        body.write(encode_postings(index.postings_for_id(term_id)))
+    payload = body.getvalue()
+
     out = io.BytesIO()
     out.write(_MAGIC)
     out.write(bytes([_VERSION]))
@@ -82,16 +116,8 @@ def serialize_index(index: InvertedIndex) -> bytes:
     )
     out.write(bytes([flags]))
     out.write(encode_varint(config.max_token_length))
-    out.write(encode_varint(index.num_documents))
-    for length in index.doc_lengths:
-        out.write(encode_varint(int(length)))
-    out.write(encode_varint(index.num_terms))
-    for term_id in range(index.num_terms):
-        term = index.dictionary.term_for_id(term_id)
-        term_bytes = term.encode("utf-8")
-        out.write(encode_varint(len(term_bytes)))
-        out.write(term_bytes)
-        out.write(encode_postings(index.postings_for_id(term_id)))
+    out.write(zlib.crc32(payload).to_bytes(_CHECKSUM_BYTES, "little"))
+    out.write(payload)
     return out.getvalue()
 
 
@@ -121,12 +147,12 @@ def serialize_positional_index(positional) -> bytes:
     Layout: the plain ``RIDX`` payload with its magic swapped to
     ``RIXP``, followed by, for every term in dictionary order and every
     posting in doc order, the delta-gapped position list (the counts
-    are already known from the postings frequencies).
+    are already known from the postings frequencies), then a trailing
+    crc32 (little-endian) of the whole position section.
     """
     base = bytearray(serialize_index(positional.index))
     base[:4] = _POSITIONAL_MAGIC
-    out = io.BytesIO()
-    out.write(bytes(base))
+    positions = io.BytesIO()
     index = positional.index
     for term_id in range(index.num_terms):
         term = index.dictionary.term_for_id(term_id)
@@ -134,8 +160,13 @@ def serialize_positional_index(positional) -> bytes:
         for doc_id in postings.doc_ids:
             previous = -1
             for position in postings.positions_in(int(doc_id)):
-                out.write(encode_varint(int(position) - previous - 1))
+                positions.write(encode_varint(int(position) - previous - 1))
                 previous = int(position)
+    section = positions.getvalue()
+    out = io.BytesIO()
+    out.write(bytes(base))
+    out.write(section)
+    out.write(zlib.crc32(section).to_bytes(_CHECKSUM_BYTES, "little"))
     return out.getvalue()
 
 
@@ -145,27 +176,51 @@ def deserialize_positional_index(data: bytes):
 
     if data[:4] != _POSITIONAL_MAGIC:
         raise ValueError("not a RIXP positional index (bad magic)")
+    version = data[4]
     # Reuse the plain deserializer on the embedded RIDX payload; it
     # reports where the postings end via its trailing-bytes error, so
     # parse manually up to the index end instead.
     swapped = _MAGIC + data[4:]
     index, offset = _deserialize_index_prefix(swapped)
+    positions_start = offset
 
     positions = {}
-    for term_id in range(index.num_terms):
-        term = index.dictionary.term_for_id(term_id)
-        postings = index.postings_for_id(term_id)
-        per_doc = []
-        for frequency in postings.frequencies:
-            values = np.empty(int(frequency), dtype=np.int64)
-            previous = -1
-            for slot in range(int(frequency)):
-                gap, offset = decode_varint(data, offset)
-                value = previous + gap + 1
-                values[slot] = value
-                previous = value
-            per_doc.append(values)
-        positions[term] = PositionalPostings(postings.doc_ids, per_doc)
+    try:
+        for term_id in range(index.num_terms):
+            term = index.dictionary.term_for_id(term_id)
+            postings = index.postings_for_id(term_id)
+            per_doc = []
+            for frequency in postings.frequencies:
+                values = np.empty(int(frequency), dtype=np.int64)
+                previous = -1
+                for slot in range(int(frequency)):
+                    gap, offset = decode_varint(data, offset)
+                    value = previous + gap + 1
+                    values[slot] = value
+                    previous = value
+                per_doc.append(values)
+            positions[term] = PositionalPostings(postings.doc_ids, per_doc)
+    except (ValueError, IndexError, OverflowError) as exc:
+        if version < 2:
+            raise
+        raise CorruptedIndexError(
+            f"RIXP position section failed to parse: {exc}"
+        ) from exc
+    if version >= 2:
+        if len(data) < offset + _CHECKSUM_BYTES:
+            raise CorruptedIndexError(
+                "RIXP payload truncated before position checksum"
+            )
+        stored = int.from_bytes(
+            data[offset : offset + _CHECKSUM_BYTES], "little"
+        )
+        actual = zlib.crc32(data[positions_start:offset])
+        if actual != stored:
+            raise CorruptedIndexError(
+                f"RIXP position checksum mismatch: "
+                f"stored {stored:#010x}, computed {actual:#010x}"
+            )
+        offset += _CHECKSUM_BYTES
     if offset != len(data):
         raise ValueError(
             f"trailing bytes after positions: {len(data) - offset}"
@@ -176,15 +231,28 @@ def deserialize_positional_index(data: bytes):
 def _deserialize_index_prefix(data: bytes):
     """Parse a RIDX payload that may have trailing data.
 
-    Returns ``(index, offset_after_index)``.
+    Returns ``(index, offset_after_index)``.  Version-2 payloads are
+    verified against their stored body checksum; corruption raises
+    :class:`CorruptedIndexError` whether it breaks the parse or merely
+    perturbs the postings.
     """
     if data[:4] != _MAGIC:
         raise ValueError("not a RIDX index (bad magic)")
-    if data[4] != _VERSION:
-        raise ValueError(f"unsupported RIDX version {data[4]}")
+    version = data[4]
+    if version not in _SUPPORTED_VERSIONS:
+        raise ValueError(f"unsupported RIDX version {version}")
     flags = data[5]
     offset = 6
     max_token_length, offset = decode_varint(data, offset)
+    stored_checksum = None
+    if version >= 2:
+        if len(data) < offset + _CHECKSUM_BYTES:
+            raise CorruptedIndexError("RIDX payload truncated in header")
+        stored_checksum = int.from_bytes(
+            data[offset : offset + _CHECKSUM_BYTES], "little"
+        )
+        offset += _CHECKSUM_BYTES
+    body_start = offset
     analyzer = Analyzer(
         config=AnalyzerConfig(
             lowercase=bool(flags & 1),
@@ -193,26 +261,42 @@ def _deserialize_index_prefix(data: bytes):
             max_token_length=max_token_length,
         )
     )
-    num_documents, offset = decode_varint(data, offset)
-    doc_lengths = np.empty(num_documents, dtype=np.int64)
-    for index_position in range(num_documents):
-        value, offset = decode_varint(data, offset)
-        doc_lengths[index_position] = value
-    num_terms, offset = decode_varint(data, offset)
-    dictionary = TermDictionary()
-    postings: List[PostingsList] = []
-    for _ in range(num_terms):
-        term_length, offset = decode_varint(data, offset)
-        term = data[offset : offset + term_length].decode("utf-8")
-        offset += term_length
-        postings_list, consumed = decode_postings(data[offset:])
-        offset += consumed
-        dictionary.add(
-            term,
-            document_frequency=postings_list.document_frequency(),
-            collection_frequency=postings_list.collection_frequency(),
-        )
-        postings.append(postings_list)
+    try:
+        num_documents, offset = decode_varint(data, offset)
+        doc_lengths = np.empty(num_documents, dtype=np.int64)
+        for index_position in range(num_documents):
+            value, offset = decode_varint(data, offset)
+            doc_lengths[index_position] = value
+        num_terms, offset = decode_varint(data, offset)
+        dictionary = TermDictionary()
+        postings: List[PostingsList] = []
+        for _ in range(num_terms):
+            term_length, offset = decode_varint(data, offset)
+            term = data[offset : offset + term_length].decode("utf-8")
+            offset += term_length
+            postings_list, consumed = decode_postings(data[offset:])
+            offset += consumed
+            dictionary.add(
+                term,
+                document_frequency=postings_list.document_frequency(),
+                collection_frequency=postings_list.collection_frequency(),
+            )
+            postings.append(postings_list)
+    except (ValueError, IndexError, OverflowError, UnicodeDecodeError) as exc:
+        if stored_checksum is None:
+            raise
+        # A checksummed payload that cannot even be parsed is corrupt
+        # by definition — report it as such, not as a format quirk.
+        raise CorruptedIndexError(
+            f"RIDX body failed to parse (corrupt payload): {exc}"
+        ) from exc
+    if stored_checksum is not None:
+        actual = zlib.crc32(data[body_start:offset])
+        if actual != stored_checksum:
+            raise CorruptedIndexError(
+                f"RIDX body checksum mismatch: "
+                f"stored {stored_checksum:#010x}, computed {actual:#010x}"
+            )
     return (
         InvertedIndex(
             dictionary=dictionary,

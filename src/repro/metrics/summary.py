@@ -56,10 +56,37 @@ class LatencySummary:
         )
 
 
-def summarize(samples: Sequence[float]) -> LatencySummary:
-    """Compute a :class:`LatencySummary` over ``samples``."""
+#: The summary of zero samples: count 0, every statistic NaN.  NaN (not
+#: zero) so that an all-shed run plotted next to healthy runs produces a
+#: gap, never a fake zero-latency point.
+EMPTY_SUMMARY = LatencySummary(
+    count=0,
+    mean=float("nan"),
+    p50=float("nan"),
+    p90=float("nan"),
+    p95=float("nan"),
+    p99=float("nan"),
+    p999=float("nan"),
+    max=float("nan"),
+)
+
+
+def summarize(
+    samples: Sequence[float], empty: str = "raise"
+) -> LatencySummary:
+    """Compute a :class:`LatencySummary` over ``samples``.
+
+    ``empty`` picks the zero-sample behaviour: ``"raise"`` (default)
+    raises ``ValueError``, ``"nan"`` returns :data:`EMPTY_SUMMARY`.
+    Callers whose sample list can legitimately drain — e.g. a run where
+    admission control shed every query — pass ``empty="nan"``.
+    """
+    if empty not in ("raise", "nan"):
+        raise ValueError(f"empty must be 'raise' or 'nan', got {empty!r}")
     data = np.asarray(samples, dtype=np.float64)
     if data.size == 0:
+        if empty == "nan":
+            return EMPTY_SUMMARY
         raise ValueError("cannot summarize zero samples")
     data = np.sort(data)
 

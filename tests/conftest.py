@@ -52,3 +52,52 @@ def small_query_log(corpus_generator):
 @pytest.fixture()
 def rng():
     return np.random.default_rng(0)
+
+
+# --- chaos-harness fixtures ---------------------------------------------
+# Declarative fault plans any integration test can run under; the same
+# plan objects drive the native engine (wall clock) and the simulated
+# cluster (simulated time).
+
+
+@pytest.fixture()
+def flapping_plan():
+    """Shard 1 crashes for half of every 200 ms period (DES timelines)."""
+    from repro.resilience.faults import FaultPlan
+
+    return FaultPlan.flapping_shard(
+        1, period_s=0.2, duty=0.5, horizon_s=60.0
+    )
+
+
+@pytest.fixture()
+def crashed_shard_plan():
+    """Shard 1 is down for the whole test — deterministic on wall clocks."""
+    from repro.resilience.faults import FaultPlan, ShardCrash
+
+    return FaultPlan(
+        crashes=(ShardCrash(shard=1, start_s=0.0, duration_s=3600.0),)
+    )
+
+
+@pytest.fixture()
+def chaos_service(crashed_shard_plan):
+    """A small native service whose shard 1 always fails, with breakers."""
+    from repro.engine.service import SearchService, SearchServiceConfig
+    from repro.corpus.querylog import QueryLogConfig
+    from repro.resilience.breaker import BreakerConfig
+
+    config = SearchServiceConfig(
+        corpus=CorpusConfig(
+            num_documents=120,
+            vocabulary=VocabularyConfig(size=900),
+            mean_length=40,
+            seed=11,
+        ),
+        query_log=QueryLogConfig(num_unique_queries=30, seed=5),
+        num_partitions=2,
+        breakers=BreakerConfig(failure_threshold=2, recovery_time_s=30.0),
+        faults=crashed_shard_plan,
+    )
+    with SearchService(config) as service:
+        yield service

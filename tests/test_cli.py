@@ -144,6 +144,47 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "# Web search benchmark characterization report" in output
 
+    def test_chaos_dry_run(self, capsys):
+        assert main(["chaos", "--dry-run"]) == 0
+        output = capsys.readouterr().out
+        assert "chaos plan" in output
+        assert "crash" in output
+        assert "dry run" in output
+
+    def test_chaos_run(self, capsys):
+        assert (
+            main(
+                [
+                    "chaos",
+                    "--sim-queries", "400",
+                    "--rate", "200",
+                    "--servers", "2",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "Chaos run" in output
+        assert "protected" in output
+        assert "goodput" in output
+        assert "breaker skips" in output
+
+    def test_chaos_unprotected(self, capsys):
+        assert (
+            main(
+                [
+                    "chaos",
+                    "--sim-queries", "400",
+                    "--rate", "200",
+                    "--servers", "2",
+                    "--unprotected",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "unprotected" in output
+
     def test_report_to_file(self, capsys, tmp_path):
         path = tmp_path / "report.md"
         assert (

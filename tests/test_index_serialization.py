@@ -142,3 +142,97 @@ class TestSerialization:
             original = original_searcher.search(query.text)
             loaded = restored_searcher.search(query.text)
             assert original.doc_ids() == loaded.doc_ids()
+
+
+class TestChecksum:
+    """Version-2 integrity verification (corrupted-postings detection)."""
+
+    def _v1_payload(self, index) -> bytes:
+        """Rewrite a v2 payload as version 1 (checksum field removed)."""
+        from repro.index.compression import decode_varint
+
+        data = serialize_index(index)
+        offset = 6
+        _, offset = decode_varint(data, offset)  # max_token_length
+        header = bytearray(data[:offset])
+        header[4] = 1
+        return bytes(header) + data[offset + 4 :]
+
+    def test_current_version_is_two(self, small_index):
+        assert serialize_index(small_index)[4] == 2
+
+    def test_flipped_postings_byte_detected(self, small_index):
+        from repro.index.serialization import CorruptedIndexError
+
+        data = bytearray(serialize_index(small_index))
+        data[-10] ^= 0x40
+        with pytest.raises(CorruptedIndexError):
+            deserialize_index(bytes(data))
+
+    def test_flipped_header_adjacent_byte_detected(self, small_index):
+        from repro.index.serialization import CorruptedIndexError
+
+        data = bytearray(serialize_index(small_index))
+        data[15] ^= 0x01  # early in the body (doc-length table)
+        with pytest.raises(CorruptedIndexError):
+            deserialize_index(bytes(data))
+
+    def test_truncated_payload_detected(self, small_index):
+        from repro.index.serialization import CorruptedIndexError
+
+        data = serialize_index(small_index)
+        with pytest.raises((CorruptedIndexError, ValueError)):
+            deserialize_index(data[: len(data) // 2])
+
+    def test_corruption_error_is_a_value_error(self):
+        from repro.index.serialization import CorruptedIndexError
+
+        assert issubclass(CorruptedIndexError, ValueError)
+
+    def test_version1_payload_still_loads(self, small_index):
+        restored = deserialize_index(self._v1_payload(small_index))
+        assert restored.num_terms == small_index.num_terms
+        assert restored.dictionary.terms() == small_index.dictionary.terms()
+
+    def test_version1_corruption_not_reported_as_corrupt(self, small_index):
+        """v1 has no checksum: a bad byte may parse or fail either way,
+
+        but a clean parse is accepted (no integrity guarantee)."""
+        from repro.index.serialization import CorruptedIndexError
+
+        data = bytearray(self._v1_payload(small_index))
+        data[-1] ^= 0x01
+        try:
+            deserialize_index(bytes(data))
+        except CorruptedIndexError:
+            pytest.fail("v1 payloads must not raise CorruptedIndexError")
+        except ValueError:
+            pass  # an unparseable v1 payload is a plain format error
+
+    def test_positional_position_corruption_detected(self, small_collection):
+        from repro.index.positional import PositionalIndexBuilder
+        from repro.index.serialization import (
+            CorruptedIndexError,
+            deserialize_positional_index,
+            serialize_positional_index,
+        )
+
+        positional = PositionalIndexBuilder().build(small_collection)
+        data = bytearray(serialize_positional_index(positional))
+        data[-6] ^= 0x01  # inside the position section, before its crc
+        with pytest.raises(CorruptedIndexError):
+            deserialize_positional_index(bytes(data))
+
+    def test_positional_base_corruption_detected(self, small_collection):
+        from repro.index.positional import PositionalIndexBuilder
+        from repro.index.serialization import (
+            CorruptedIndexError,
+            deserialize_positional_index,
+            serialize_positional_index,
+        )
+
+        positional = PositionalIndexBuilder().build(small_collection)
+        data = bytearray(serialize_positional_index(positional))
+        data[len(data) // 2] ^= 0x40  # in the embedded RIDX body
+        with pytest.raises(CorruptedIndexError):
+            deserialize_positional_index(bytes(data))

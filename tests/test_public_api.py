@@ -25,6 +25,7 @@ PACKAGES = [
     "repro.analysis",
     "repro.cache",
     "repro.core",
+    "repro.resilience",
 ]
 
 
