@@ -21,7 +21,9 @@ def query_sample(service):
     return [q.text for q in service.query_log.sample_stream(50, rng)]
 
 
-@pytest.mark.parametrize("algorithm", ["daat", "taat", "wand"])
+@pytest.mark.parametrize(
+    "algorithm", ["daat", "taat", "wand", "block_max_wand"]
+)
 def test_micro_query_throughput(benchmark, service, query_sample, algorithm):
     searcher = Searcher(service.partitioned[0].index, algorithm=algorithm)
 
@@ -30,6 +32,32 @@ def test_micro_query_throughput(benchmark, service, query_sample, algorithm):
             searcher.search(text)
 
     benchmark.pedantic(run_batch, rounds=3, iterations=1)
+
+
+def test_micro_bmw_prunes_vs_exhaustive(service, query_sample):
+    """Perf gate: Block-Max WAND must do measurably less scoring work.
+
+    Wall-clock microbenchmarks are noisy in CI, so the gate is on the
+    deterministic scored-docs counters: over the sample workload BMW
+    must score at most half the documents exhaustive DAAT scores while
+    returning bit-identical top-k results.
+    """
+    index = service.partitioned[0].index
+    exhaustive = Searcher(index, algorithm="daat")
+    bmw = Searcher(index, algorithm="block_max_wand")
+    exhaustive_docs = 0
+    bmw_docs = 0
+    for text in query_sample:
+        full = exhaustive.search(text)
+        pruned = bmw.search(text)
+        assert pruned.doc_ids() == full.doc_ids()
+        assert pruned.scores() == full.scores()
+        exhaustive_docs += full.docs_scored
+        bmw_docs += pruned.docs_scored
+    assert bmw_docs * 2 <= exhaustive_docs, (
+        f"BMW must score >= 2x fewer docs than exhaustive DAAT: "
+        f"{bmw_docs} vs {exhaustive_docs}"
+    )
 
 
 def test_micro_analyzer_throughput(benchmark, service):

@@ -77,6 +77,7 @@ from repro.resilience.faults import (
 from repro.metrics.summary import EMPTY_SUMMARY, LatencySummary, summarize
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracing import Tracer
+from repro.search.strategy import TraversalStrategy
 from repro.servers.catalog import BIG_SERVER, MID_SERVER, SMALL_SERVER
 from repro.servers.spec import ServerSpec
 from repro.sim.hiccups import HiccupConfig
@@ -127,6 +128,7 @@ __all__ = [
     "QueryLog",
     "PartitionStrategy",
     "PartitionModelConfig",
+    "TraversalStrategy",
     "WorkloadScenario",
     "ArrivalProcess",
     "PoissonArrivals",
@@ -187,7 +189,7 @@ class EngineConfig:
     query_log: QueryLogConfig = field(default_factory=QueryLogConfig)
     num_partitions: int = 1
     partition_strategy: PartitionStrategy = PartitionStrategy.ROUND_ROBIN
-    algorithm: str = "daat"
+    algorithm: "str | TraversalStrategy" = "daat"
     use_global_stats: bool = True
     num_threads: Optional[int] = None
     hedging: Optional[HedgingPolicy] = None

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Generic, Hashable, Optional, TypeVar
@@ -39,6 +40,15 @@ class LRUCache(Generic[K, V]):
 
     Both :meth:`get` and :meth:`put` refresh recency, matching the
     result-cache semantics of search front-ends.
+
+    The cache is thread-safe: the index serving node calls it from its
+    worker pool, and ``OrderedDict``'s ``move_to_end``/``popitem`` pair
+    is not atomic — unsynchronized concurrent puts could evict past the
+    capacity bound, corrupt the recency order, or raise ``KeyError``
+    out of ``move_to_end`` when a racing eviction removes the key mid-
+    refresh.  Every public operation therefore takes an internal lock;
+    the critical sections are tiny (dict bookkeeping only, never a
+    search), so contention stays negligible.
     """
 
     def __init__(self, capacity: int):
@@ -46,40 +56,56 @@ class LRUCache(Generic[K, V]):
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
         self._entries: "OrderedDict[K, V]" = OrderedDict()
+        self._lock = threading.Lock()
         self.stats = CacheStats()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: K) -> bool:
         # Membership test does not count as a lookup or refresh recency.
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: K, default: Optional[V] = None) -> Optional[V]:
         """Look up ``key``; refreshes recency and counts hit/miss."""
-        value = self._entries.get(key, _MISSING)
-        if value is _MISSING:
-            self.stats.misses += 1
-            return default
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return value
-
-    def put(self, key: K, value: V) -> None:
-        """Insert/overwrite ``key``; evicts the LRU entry when full."""
-        if key in self._entries:
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self.stats.misses += 1
+                return default
             self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def put(self, key: K, value: V) -> int:
+        """Insert/overwrite ``key``; evicts the LRU entry when full.
+
+        Returns the number of entries evicted by this call (0 or 1), so
+        callers can account for evictions atomically instead of diffing
+        ``stats.evictions`` around the call — a before/after diff
+        misattributes evictions under concurrency.
+        """
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return 0
+            evicted = 0
+            if len(self._entries) >= self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+                evicted = 1
             self._entries[key] = value
-            return
-        if len(self._entries) >= self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
-        self._entries[key] = value
+            return evicted
 
     def clear(self) -> None:
         """Drop all entries (statistics are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def keys(self):
         """Keys from least- to most-recently used."""
-        return list(self._entries.keys())
+        with self._lock:
+            return list(self._entries.keys())

@@ -7,6 +7,11 @@ share one entry — exactly how search front-ends key their caches.
 The index is immutable in this benchmark, so entries never go stale
 and no invalidation protocol is needed.
 
+Cached pages carry the matched postings volume observed when the page
+was computed, so a cache hit can replay the work proxy instead of
+reporting zero (the characterization's per-query work accounting would
+otherwise under-count every hit).
+
 When constructed with a :class:`~repro.obs.registry.MetricsRegistry`,
 every lookup and eviction updates the run-level ``cache.hits`` /
 ``cache.misses`` / ``cache.evictions`` counters in addition to the
@@ -15,6 +20,7 @@ cache's own :class:`CacheStats`.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.cache.lru import CacheStats, LRUCache
@@ -30,15 +36,37 @@ def make_cache_key(query: ParsedQuery) -> CacheKey:
     return (query.terms, query.k, query.mode.value)
 
 
+@dataclass(frozen=True)
+class CachedPage:
+    """A cached result page plus the statistics it was computed with.
+
+    Attributes
+    ----------
+    hits:
+        The ranked result page, best first.
+    matched_volume:
+        The matched postings volume of the original (uncached)
+        evaluation — replayed on every hit so cached responses report
+        the same work proxy as the evaluation they short-circuit.
+    """
+
+    hits: Tuple[SearchHit, ...]
+    matched_volume: int
+
+
 class QueryResultCache:
-    """LRU cache of result pages, keyed by normalized query."""
+    """LRU cache of result pages, keyed by normalized query.
+
+    Thread safety is inherited from :class:`LRUCache`; the eviction
+    metric uses the eviction count :meth:`LRUCache.put` returns, which
+    is attributed atomically to the call that evicted (a before/after
+    stats diff would race under the ISN's worker pool).
+    """
 
     def __init__(
         self, capacity: int, metrics: Optional[MetricsRegistry] = None
     ):
-        self._cache: LRUCache[CacheKey, Tuple[SearchHit, ...]] = LRUCache(
-            capacity
-        )
+        self._cache: LRUCache[CacheKey, CachedPage] = LRUCache(capacity)
         self._metrics = metrics
 
     def __len__(self) -> int:
@@ -51,20 +79,30 @@ class QueryResultCache:
 
     def lookup(self, query: ParsedQuery) -> Optional[Tuple[SearchHit, ...]]:
         """Return the cached page for ``query`` or None on miss."""
-        page = self._cache.get(make_cache_key(query))
-        if self._metrics is not None:
-            name = "cache.hits" if page is not None else "cache.misses"
-            self._metrics.counter(name).add()
-        return page
+        entry = self.lookup_entry(query)
+        if entry is None:
+            return None
+        return entry.hits
 
-    def store(self, query: ParsedQuery, hits: Tuple[SearchHit, ...]) -> None:
-        """Cache the result page for ``query``."""
-        evictions_before = self._cache.stats.evictions
-        self._cache.put(make_cache_key(query), tuple(hits))
+    def lookup_entry(self, query: ParsedQuery) -> Optional[CachedPage]:
+        """Return the full cached entry (hits + stats) or None on miss."""
+        entry = self._cache.get(make_cache_key(query))
         if self._metrics is not None:
-            evicted = self._cache.stats.evictions - evictions_before
-            if evicted:
-                self._metrics.counter("cache.evictions").add(evicted)
+            name = "cache.hits" if entry is not None else "cache.misses"
+            self._metrics.counter(name).add()
+        return entry
+
+    def store(
+        self,
+        query: ParsedQuery,
+        hits: Tuple[SearchHit, ...],
+        matched_volume: int = 0,
+    ) -> None:
+        """Cache the result page for ``query``."""
+        entry = CachedPage(hits=tuple(hits), matched_volume=matched_volume)
+        evicted = self._cache.put(make_cache_key(query), entry)
+        if self._metrics is not None and evicted:
+            self._metrics.counter("cache.evictions").add(evicted)
 
     def clear(self) -> None:
         """Drop every cached page."""

@@ -32,6 +32,7 @@ from repro.api import (
     HedgingPolicy,
     QueryLogConfig,
     SearchEngine,
+    TraversalStrategy,
     VocabularyConfig,
     format_series,
     format_table,
@@ -55,6 +56,9 @@ def _engine_config(
     num_partitions: int = 1,
     hedging: Optional[HedgingPolicy] = None,
 ) -> EngineConfig:
+    traversal = TraversalStrategy.coerce(
+        getattr(args, "traversal", "exhaustive")
+    )
     return EngineConfig(
         corpus=CorpusConfig(
             num_documents=args.docs,
@@ -67,6 +71,7 @@ def _engine_config(
             seed=args.seed + 1,
         ),
         num_partitions=num_partitions,
+        algorithm=traversal,
         hedging=hedging,
     )
 
@@ -420,6 +425,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--docs", type=int, default=1_500,
                         help="corpus size (documents)")
     parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--traversal",
+        choices=["exhaustive", "wand", "block-max-wand"],
+        default="exhaustive",
+        help="postings traversal strategy for the native engine "
+             "(exhaustive DAAT is the benchmark-faithful default; the "
+             "WAND variants prune documents that cannot reach the top-k)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     quickstart = subparsers.add_parser(

@@ -407,6 +407,7 @@ def run_fanout_open_loop(
                 config.partitioning,
                 imbalance_rng=streams.stream(f"imbalance-{server_index}"),
                 on_complete=lambda rec: completion_handlers[id(rec)](rec),
+                metrics=metrics,
             )
         )
 
@@ -607,6 +608,7 @@ def _run_fanout_tail_tolerant(
                         rec
                     ),
                     hiccups=_replica_stalls(config, streams, shard, replica),
+                    metrics=metrics,
                 )
             )
         servers.append(group)

@@ -19,15 +19,19 @@ single-query latency by increasing ``P``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional, Union
 
 import numpy as np
 
 from repro.cluster.results import QueryRecord
+from repro.search.strategy import TraversalStrategy
 from repro.servers.spec import ServerSpec
 from repro.sim.engine import Simulator
 from repro.sim.hiccups import HiccupSchedule
 from repro.sim.resources import CoreBank
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -51,6 +55,17 @@ class PartitionModelConfig:
     merge_per_partition:
         ``m₁`` — additional merge cost per partition (k more hits to
         merge for every extra shard).
+    traversal:
+        Postings traversal strategy the modeled ISN runs.  Exhaustive
+        (the default and the paper's setting) consumes the full demand;
+        the WAND family scales it by ``pruning_factor``.  Accepts a
+        :class:`~repro.search.strategy.TraversalStrategy` or any
+        spelling its ``coerce`` understands.
+    pruning_factor:
+        Fraction of the exhaustive scoring demand a pruning traversal
+        still pays, in ``(0, 1]``.  Calibrated from the native engine's
+        ``wand.docs_scored`` / ``daat.candidates_scored`` ratio (the
+        fig25 ablation); ignored for exhaustive traversal.
     """
 
     num_partitions: int = 1
@@ -58,6 +73,8 @@ class PartitionModelConfig:
     imbalance_concentration: float = 60.0
     merge_base: float = 0.0002
     merge_per_partition: float = 0.0001
+    traversal: Union[str, TraversalStrategy] = TraversalStrategy.EXHAUSTIVE
+    pruning_factor: float = 1.0
 
     def __post_init__(self) -> None:
         if self.num_partitions <= 0:
@@ -68,15 +85,34 @@ class PartitionModelConfig:
             raise ValueError("imbalance_concentration must be positive")
         if self.merge_base < 0 or self.merge_per_partition < 0:
             raise ValueError("merge costs must be non-negative")
+        object.__setattr__(
+            self, "traversal", TraversalStrategy.coerce(self.traversal)
+        )
+        if not 0.0 < self.pruning_factor <= 1.0:
+            raise ValueError(
+                f"pruning_factor must be in (0, 1], got {self.pruning_factor}"
+            )
 
     def merge_demand(self) -> float:
         """Reference-core seconds the merge step costs at this ``P``."""
         return self.merge_base + self.merge_per_partition * self.num_partitions
 
+    def effective_demand(self, demand: float) -> float:
+        """Scoring demand after traversal pruning.
+
+        Exhaustive traversal pays the full ``demand``; WAND-family
+        traversal pays ``demand * pruning_factor`` (the per-partition
+        overheads and the merge are posting-volume independent and are
+        not scaled).
+        """
+        if self.traversal.prunes:
+            return demand * self.pruning_factor
+        return demand
+
     def total_work(self, demand: float) -> float:
         """Total reference-core seconds a query of ``demand`` costs."""
         return (
-            demand
+            self.effective_demand(demand)
             + self.num_partitions * self.partition_overhead
             + self.merge_demand()
         )
@@ -93,6 +129,7 @@ class SimulatedServer:
         imbalance_rng: np.random.Generator,
         on_complete: Optional[Callable[[QueryRecord], None]] = None,
         hiccups: Optional[HiccupSchedule] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ):
         self.sim = sim
         self.spec = spec
@@ -102,6 +139,7 @@ class SimulatedServer:
         )
         self._imbalance_rng = imbalance_rng
         self._on_complete = on_complete
+        self._metrics = metrics
         #: Queries accepted but not yet completed — the load signal a
         #: tail-tolerant broker uses to pick the least-loaded replica.
         self.outstanding = 0
@@ -114,11 +152,18 @@ class SimulatedServer:
         config = self.partitioning
         shares = self._work_shares(config.num_partitions)
 
+        demand = config.effective_demand(record.demand)
+        if self._metrics is not None and config.traversal.prunes:
+            self._metrics.counter("sim.wand.queries_pruned").add()
+            self._metrics.counter("sim.wand.demand_saved_s").add(
+                record.demand - demand
+            )
+
         first_start = float("inf")
         earliest_end = float("inf")
         last_end = 0.0
         for share in shares:
-            task_demand = record.demand * share + config.partition_overhead
+            task_demand = demand * share + config.partition_overhead
             start, end = self.cores.submit(now, task_demand)
             first_start = min(first_start, start)
             earliest_end = min(earliest_end, end)

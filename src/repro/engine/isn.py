@@ -31,7 +31,7 @@ import time
 from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor
 from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.engine.hedging import DISABLED_POLICY, HedgingPolicy, ShardLatencyTracker
 from repro.engine.instrumentation import ComponentTimings
@@ -43,9 +43,13 @@ from repro.resilience.breaker import BreakerBoard, BreakerConfig, BreakerState
 from repro.resilience.faults import FaultInjector, FaultPlan
 from repro.search.executor import SearchCancelled, ShardSearcher
 from repro.search.global_stats import global_scorer_factory
+from repro.search.strategy import TraversalStrategy
 from repro.search.merger import merge_shard_results
 from repro.search.query import DEFAULT_TOP_K, ParsedQuery, QueryMode, QueryParser
 from repro.search.topk import SearchHit
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache.querycache import CachedPage, QueryResultCache
 
 #: Linear bucket edges for the coverage histogram (fractions of shards).
 COVERAGE_BUCKETS = tuple(i / 20.0 for i in range(21))
@@ -61,6 +65,10 @@ class IsnResponse:
     ``coverage`` is the fraction of shards whose answer made it into
     the merge: 1.0 on the plain path, possibly lower under a
     :class:`~repro.engine.hedging.HedgingPolicy` with deadlines.
+
+    ``cached`` flags responses replayed from the result cache; their
+    ``matched_volume`` is the volume recorded when the page was first
+    computed (so work accounting stays truthful), not zero.
     """
 
     hits: Tuple[SearchHit, ...]
@@ -71,6 +79,7 @@ class IsnResponse:
     hedges_won: int = 0
     deadline_misses: int = 0
     breaker_skips: int = 0
+    cached: bool = False
     trace: Optional[Span] = field(default=None, compare=False)
 
     #: Served responses are never shed; ``getattr(outcome, "shed",
@@ -126,7 +135,10 @@ class IndexServingNode:
         doubled when a hedging policy is attached so backup attempts
         are not starved by the primaries they are meant to overtake.
     algorithm:
-        Traversal algorithm for shard searchers.
+        Traversal algorithm for shard searchers — an executor algorithm
+        name or a :class:`~repro.search.strategy.TraversalStrategy`
+        (``"exhaustive"``/``"wand"``/``"block-max-wand"`` spellings are
+        normalized by the searcher).
     use_global_stats:
         Score shards with collection-global statistics (distributed
         idf).  On by default so results are partition-count invariant.
@@ -163,7 +175,7 @@ class IndexServingNode:
         self,
         partitioned: PartitionedIndex,
         num_threads: Optional[int] = None,
-        algorithm: str = "daat",
+        algorithm: "str | TraversalStrategy" = "daat",
         use_global_stats: bool = True,
         cache: Optional["QueryResultCache"] = None,
         hedging: Optional[HedgingPolicy] = None,
@@ -316,10 +328,10 @@ class IndexServingNode:
         parse_end = time.perf_counter()
 
         if self.cache is not None:
-            cached = self.cache.lookup(query)
-            if cached is not None:
+            entry = self.cache.lookup_entry(query)
+            if entry is not None:
                 return self._respond_from_cache(
-                    text, cached, total_start, parse_start, parse_end
+                    text, entry, total_start, parse_start, parse_end
                 )
 
         fanout_start = time.perf_counter()
@@ -346,7 +358,9 @@ class IndexServingNode:
         if self.cache is not None and response.coverage >= 1.0:
             # Partial answers must not poison the cache with degraded
             # pages — only full-coverage responses are stored.
-            self.cache.store(query, response.hits)
+            self.cache.store(
+                query, response.hits, matched_volume=response.matched_volume
+            )
         return response
 
     def execute_serial(
@@ -639,7 +653,7 @@ class IndexServingNode:
     def _respond_from_cache(
         self,
         text: str,
-        cached: Tuple[SearchHit, ...],
+        entry: "CachedPage",
         total_start: float,
         parse_start: float,
         parse_end: float,
@@ -663,7 +677,11 @@ class IndexServingNode:
                 total_seconds=total_end - total_start,
             )
         return IsnResponse(
-            hits=cached, timings=timings, matched_volume=0, trace=trace
+            hits=entry.hits,
+            timings=timings,
+            matched_volume=entry.matched_volume,
+            cached=True,
+            trace=trace,
         )
 
     def _assemble(
@@ -792,6 +810,10 @@ class IndexServingNode:
                 "postings_scanned": result.matched_volume,
                 "num_hits": len(result.hits),
             }
+            if result.docs_scored is not None:
+                attributes["docs_scored"] = result.docs_scored
+            if result.blocks_skipped is not None:
+                attributes["blocks_skipped"] = result.blocks_skipped
             if self._resilient_fanout:
                 attributes["attempt"] = kind
                 attributes["hedged"] = kind == "hedge"

@@ -28,6 +28,7 @@ from repro.obs.registry import MetricsRegistry
 from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.search.phrase import parse_phrase, score_phrase
 from repro.search.query import DEFAULT_TOP_K, QueryMode
+from repro.search.strategy import TraversalStrategy
 from repro.search.topk import SearchHit
 from repro.text.analyzer import Analyzer, default_analyzer
 
@@ -79,7 +80,7 @@ class SearchServiceConfig:
     query_log: QueryLogConfig = field(default_factory=QueryLogConfig)
     num_partitions: int = 1
     partition_strategy: PartitionStrategy = PartitionStrategy.ROUND_ROBIN
-    algorithm: str = "daat"
+    algorithm: "str | TraversalStrategy" = "daat"
     use_global_stats: bool = True
     num_threads: Optional[int] = None
     hedging: Optional[HedgingPolicy] = None

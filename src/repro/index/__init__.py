@@ -36,7 +36,6 @@ from repro.index.positional import (
     PositionalPostings,
 )
 from repro.index.postings import PostingsList
-from repro.index.segments import MergePolicy, SegmentedIndex
 from repro.index.serialization import (
     load_index,
     load_positional_index,
@@ -72,3 +71,17 @@ __all__ = [
     "save_positional_index",
     "load_positional_index",
 ]
+
+
+def __getattr__(name):
+    # Lazy re-export: segments pulls in the query-execution stack
+    # (repro.search), and importing it eagerly here closes an import
+    # cycle whenever repro.search is entered before repro.index (the
+    # search package's traversal modules read block metadata from this
+    # package).  PEP 562 keeps ``from repro.index import SegmentedIndex``
+    # working without the eager edge.
+    if name in ("MergePolicy", "SegmentedIndex"):
+        from repro.index import segments
+
+        return getattr(segments, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,118 @@
+"""Per-block postings metadata for block-max pruning (Ding & Suel).
+
+Each term's postings list is cut into fixed-size blocks (the classic
+choice is 128 postings).  For every block we keep:
+
+- the **last doc id** in the block — the shallow "skip pointer" that
+  lets a traversal move over whole blocks without touching postings;
+- the **maximum term frequency** in the block;
+- the **minimum document length** among the block's documents.
+
+The pair (max tf, min doc length) yields a *local* score upper bound
+for any monotone scorer: BM25 (and TF-IDF) contributions increase with
+term frequency and never increase with document length, so
+``score(max_tf, min_doc_length)`` dominates every posting in the
+block.  That bound is far tighter than the term-global
+``max_score(idf)``, which is what makes Block-Max WAND skip blocks a
+plain WAND must descend into.
+
+Metadata is computed by the :class:`~repro.index.builder.IndexBuilder`
+and serialized in index format v3; indexes loaded from v1/v2 payloads
+(or built by other paths) compute it lazily on first use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BlockMetadata", "DEFAULT_BLOCK_SIZE"]
+
+#: Postings per block; 128 is the standard choice in the block-max
+#: literature (large enough to amortize block bookkeeping, small enough
+#: that local maxima stay tight).
+DEFAULT_BLOCK_SIZE = 128
+
+
+@dataclass(frozen=True)
+class BlockMetadata:
+    """Per-block skip pointers and score-bound ingredients for one term.
+
+    Attributes
+    ----------
+    block_size:
+        Number of postings per block (the final block may be shorter).
+    last_doc_ids:
+        Doc id of each block's last posting (strictly increasing).
+    max_frequencies:
+        Maximum term frequency within each block.
+    min_doc_lengths:
+        Minimum analyzed document length among each block's documents.
+    """
+
+    block_size: int
+    last_doc_ids: np.ndarray
+    max_frequencies: np.ndarray
+    min_doc_lengths: np.ndarray
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of blocks covering the postings list."""
+        return int(self.last_doc_ids.size)
+
+    @classmethod
+    def from_postings(
+        cls,
+        postings,
+        doc_lengths: np.ndarray,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> "BlockMetadata":
+        """Compute the metadata for one postings list.
+
+        ``doc_lengths`` is the index-wide per-document length table the
+        block minima are gathered from.
+        """
+        if block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {block_size}")
+        doc_ids = postings.doc_ids
+        count = int(len(doc_ids))
+        if count == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return cls(block_size, empty, empty.copy(), empty.copy())
+        starts = np.arange(0, count, block_size)
+        ends = np.minimum(starts + block_size - 1, count - 1)
+        lengths = np.asarray(doc_lengths, dtype=np.int64)[doc_ids]
+        return cls(
+            block_size=block_size,
+            last_doc_ids=doc_ids[ends].astype(np.int64),
+            max_frequencies=np.maximum.reduceat(
+                postings.frequencies, starts
+            ).astype(np.int64),
+            min_doc_lengths=np.minimum.reduceat(lengths, starts).astype(
+                np.int64
+            ),
+        )
+
+    def max_scores(self, scorer, idf: float) -> np.ndarray:
+        """Per-block score upper bounds under ``scorer``.
+
+        Valid for any scorer monotone increasing in term frequency and
+        non-increasing in document length (BM25, TF-IDF).  Scorers with
+        a vectorized ``score_block`` use it; others fall back to a
+        per-block scalar loop.
+        """
+        if self.num_blocks == 0:
+            return np.empty(0, dtype=np.float64)
+        score_block = getattr(scorer, "score_block", None)
+        if score_block is not None:
+            return score_block(self.max_frequencies, self.min_doc_lengths, idf)
+        return np.array(
+            [
+                scorer.score(int(frequency), int(length), idf)
+                for frequency, length in zip(
+                    self.max_frequencies, self.min_doc_lengths
+                )
+            ],
+            dtype=np.float64,
+        )

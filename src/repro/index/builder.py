@@ -8,6 +8,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.corpus.documents import DocumentCollection
+from repro.index.blockmax import DEFAULT_BLOCK_SIZE, BlockMetadata
 from repro.index.dictionary import TermDictionary
 from repro.index.inverted import InvertedIndex
 from repro.index.postings import PostingsList
@@ -19,11 +20,21 @@ class IndexBuilder:
 
     The builder runs every document through the analyzer chain, then
     assembles per-term postings.  Terms are assigned ids in first-seen
-    order (deterministic for a given collection + analyzer).
+    order (deterministic for a given collection + analyzer).  Alongside
+    each postings list it precomputes the per-block metadata (block
+    last doc id, max term frequency, min document length) the block-max
+    traversal prunes with; ``block_size`` controls the granularity.
     """
 
-    def __init__(self, analyzer: Optional[Analyzer] = None):
+    def __init__(
+        self,
+        analyzer: Optional[Analyzer] = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ):
+        if block_size <= 0:
+            raise ValueError(f"block_size must be positive, got {block_size}")
         self.analyzer = analyzer or default_analyzer()
+        self.block_size = block_size
 
     def build(self, collection: DocumentCollection) -> InvertedIndex:
         """Analyze and index every document in ``collection``."""
@@ -42,6 +53,7 @@ class IndexBuilder:
 
         dictionary = TermDictionary()
         postings: List[PostingsList] = []
+        block_metadata: List[BlockMetadata] = []
         for term in sorted(accumulator):
             pairs = accumulator[term]
             postings_list = PostingsList.from_pairs(pairs)
@@ -51,10 +63,17 @@ class IndexBuilder:
                 collection_frequency=postings_list.collection_frequency(),
             )
             postings.append(postings_list)
+            block_metadata.append(
+                BlockMetadata.from_postings(
+                    postings_list, doc_lengths, self.block_size
+                )
+            )
 
         return InvertedIndex(
             dictionary=dictionary,
             postings=postings,
             doc_lengths=doc_lengths,
             analyzer=self.analyzer,
+            block_metadata=block_metadata,
+            block_size=self.block_size,
         )

@@ -158,11 +158,19 @@ def partition_index(
     num_partitions: int,
     analyzer: Optional[Analyzer] = None,
     strategy: PartitionStrategy = PartitionStrategy.ROUND_ROBIN,
+    block_size: Optional[int] = None,
 ) -> PartitionedIndex:
-    """Partition ``collection`` and build one inverted index per shard."""
+    """Partition ``collection`` and build one inverted index per shard.
+
+    ``block_size`` tunes the Block-Max WAND metadata granularity of
+    every shard index (defaults to the builder's 128).
+    """
     assignments = assign_documents(len(collection), num_partitions, strategy)
     shard_collections = partition_collection(collection, num_partitions, strategy)
-    builder = IndexBuilder(analyzer=analyzer)
+    if block_size is None:
+        builder = IndexBuilder(analyzer=analyzer)
+    else:
+        builder = IndexBuilder(analyzer=analyzer, block_size=block_size)
     shards: List[IndexShard] = []
     for shard_id, (doc_ids, shard_collection) in enumerate(
         zip(assignments, shard_collections)

@@ -13,12 +13,18 @@ Format (all integers varint unless noted)::
     flags    1 byte   bit0=lowercase bit1=remove_stopwords bit2=stem
     max_token_length
     checksum 4 bytes  crc32 (little-endian) of the body below  [v2+]
+    block_size                                                 [v3+]
     num_documents
     doc_lengths[num_documents]
     num_terms
     repeat num_terms times:
         term_utf8_length, term_utf8_bytes
         postings block (see repro.index.compression.encode_postings)
+        repeat ceil(num_postings / block_size) times:          [v3+]
+            last_doc_id_delta   (gap from the previous block's last id,
+                                 starting from -1)
+            block_max_term_frequency
+            block_min_doc_length
 
 Version 2 adds the body checksum: every segment read verifies the
 postings it parsed against the stored crc32 and raises
@@ -26,6 +32,13 @@ postings it parsed against the stored crc32 and raises
 block is detected instead of silently mis-scoring queries (and the
 chaos harness relies on exactly this detection).  Version-1 payloads
 (no checksum) still load.
+
+Version 3 stores the per-block metadata (block skip pointer, local
+max term frequency, local min document length) the Block-Max WAND
+traversal prunes with, so a loaded index skips blocks without
+re-deriving the maxima.  The block section sits inside the body, so
+the v2 crc32 covers it unchanged.  v1/v2 payloads still load — their
+indexes derive block metadata lazily on first block-max query.
 
 The default stopword set is assumed; custom stopword sets are not
 persisted (raise at save time rather than silently dropping them).
@@ -45,6 +58,7 @@ from typing import BinaryIO, List, Union
 
 import numpy as np
 
+from repro.index.blockmax import BlockMetadata
 from repro.index.compression import (
     decode_postings,
     decode_varint,
@@ -59,8 +73,8 @@ from repro.text.stopwords import DEFAULT_STOPWORDS
 
 _MAGIC = b"RIDX"
 _POSITIONAL_MAGIC = b"RIXP"
-_VERSION = 2
-_SUPPORTED_VERSIONS = (1, 2)
+_VERSION = 3
+_SUPPORTED_VERSIONS = (1, 2, 3)
 _CHECKSUM_BYTES = 4
 
 
@@ -85,8 +99,15 @@ def load_index(path: Union[str, Path]) -> InvertedIndex:
     return deserialize_index(Path(path).read_bytes())
 
 
-def serialize_index(index: InvertedIndex) -> bytes:
-    """Serialize ``index`` to bytes in the RIDX format."""
+def serialize_index(index: InvertedIndex, version: int = _VERSION) -> bytes:
+    """Serialize ``index`` to bytes in the RIDX format.
+
+    ``version`` selects the on-disk format revision; older revisions
+    remain writable so compatibility tests can produce genuine legacy
+    payloads (v1: no checksum, v2: checksum, v3: + block metadata).
+    """
+    if version not in _SUPPORTED_VERSIONS:
+        raise ValueError(f"unsupported RIDX version {version}")
     config = index.analyzer.config
     if config.remove_stopwords and config.stopwords != DEFAULT_STOPWORDS:
         raise ValueError(
@@ -94,6 +115,8 @@ def serialize_index(index: InvertedIndex) -> bytes:
             "use the default stopword set or disable stopword removal"
         )
     body = io.BytesIO()
+    if version >= 3:
+        body.write(encode_varint(index.block_size))
     body.write(encode_varint(index.num_documents))
     for length in index.doc_lengths:
         body.write(encode_varint(int(length)))
@@ -104,11 +127,20 @@ def serialize_index(index: InvertedIndex) -> bytes:
         body.write(encode_varint(len(term_bytes)))
         body.write(term_bytes)
         body.write(encode_postings(index.postings_for_id(term_id)))
+        if version >= 3:
+            blocks = index.block_metadata_for_id(term_id)
+            previous = -1
+            for position in range(blocks.num_blocks):
+                last_doc_id = int(blocks.last_doc_ids[position])
+                body.write(encode_varint(last_doc_id - previous))
+                body.write(encode_varint(int(blocks.max_frequencies[position])))
+                body.write(encode_varint(int(blocks.min_doc_lengths[position])))
+                previous = last_doc_id
     payload = body.getvalue()
 
     out = io.BytesIO()
     out.write(_MAGIC)
-    out.write(bytes([_VERSION]))
+    out.write(bytes([version]))
     flags = (
         (1 if config.lowercase else 0)
         | (2 if config.remove_stopwords else 0)
@@ -116,7 +148,8 @@ def serialize_index(index: InvertedIndex) -> bytes:
     )
     out.write(bytes([flags]))
     out.write(encode_varint(config.max_token_length))
-    out.write(zlib.crc32(payload).to_bytes(_CHECKSUM_BYTES, "little"))
+    if version >= 2:
+        out.write(zlib.crc32(payload).to_bytes(_CHECKSUM_BYTES, "little"))
     out.write(payload)
     return out.getvalue()
 
@@ -261,7 +294,13 @@ def _deserialize_index_prefix(data: bytes):
             max_token_length=max_token_length,
         )
     )
+    block_size = None
+    block_metadata: List[BlockMetadata] = []
     try:
+        if version >= 3:
+            block_size, offset = decode_varint(data, offset)
+            if block_size <= 0:
+                raise ValueError(f"invalid block size {block_size}")
         num_documents, offset = decode_varint(data, offset)
         doc_lengths = np.empty(num_documents, dtype=np.int64)
         for index_position in range(num_documents):
@@ -282,6 +321,28 @@ def _deserialize_index_prefix(data: bytes):
                 collection_frequency=postings_list.collection_frequency(),
             )
             postings.append(postings_list)
+            if version >= 3:
+                num_blocks = -(-len(postings_list) // block_size)
+                last_doc_ids = np.empty(num_blocks, dtype=np.int64)
+                max_frequencies = np.empty(num_blocks, dtype=np.int64)
+                min_doc_lengths = np.empty(num_blocks, dtype=np.int64)
+                previous = -1
+                for position in range(num_blocks):
+                    gap, offset = decode_varint(data, offset)
+                    previous += gap
+                    last_doc_ids[position] = previous
+                    value, offset = decode_varint(data, offset)
+                    max_frequencies[position] = value
+                    value, offset = decode_varint(data, offset)
+                    min_doc_lengths[position] = value
+                block_metadata.append(
+                    BlockMetadata(
+                        block_size=block_size,
+                        last_doc_ids=last_doc_ids,
+                        max_frequencies=max_frequencies,
+                        min_doc_lengths=min_doc_lengths,
+                    )
+                )
     except (ValueError, IndexError, OverflowError, UnicodeDecodeError) as exc:
         if stored_checksum is None:
             raise
@@ -297,12 +358,20 @@ def _deserialize_index_prefix(data: bytes):
                 f"RIDX body checksum mismatch: "
                 f"stored {stored_checksum:#010x}, computed {actual:#010x}"
             )
-    return (
-        InvertedIndex(
+    if version >= 3:
+        index = InvertedIndex(
             dictionary=dictionary,
             postings=postings,
             doc_lengths=doc_lengths,
             analyzer=analyzer,
-        ),
-        offset,
-    )
+            block_metadata=block_metadata,
+            block_size=block_size,
+        )
+    else:
+        index = InvertedIndex(
+            dictionary=dictionary,
+            postings=postings,
+            doc_lengths=doc_lengths,
+            analyzer=analyzer,
+        )
+    return (index, offset)

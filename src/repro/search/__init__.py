@@ -7,6 +7,7 @@ and — when the index is partitioned — merge the per-shard top-k lists.
 Every stage lives in its own module here.
 """
 
+from repro.search.block_max_wand import score_block_max_wand
 from repro.search.daat import score_daat
 from repro.search.global_stats import (
     GlobalStats,
@@ -30,6 +31,7 @@ from repro.search.scoring import (
     global_bm25_scorer,
     resolve_idf,
 )
+from repro.search.strategy import TraversalStats, TraversalStrategy
 from repro.search.taat import score_taat
 from repro.search.topk import SearchHit, TopKHeap
 from repro.search.wand import score_wand
@@ -51,6 +53,9 @@ __all__ = [
     "score_daat",
     "score_taat",
     "score_wand",
+    "score_block_max_wand",
+    "TraversalStrategy",
+    "TraversalStats",
     "score_phrase",
     "parse_phrase",
     "phrase_frequency",

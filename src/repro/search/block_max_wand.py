@@ -1,0 +1,305 @@
+"""Block-Max WAND early-terminated disjunctive evaluation.
+
+Block-Max WAND (Ding & Suel, SIGIR 2011) refines WAND's pruning with
+*per-block* score upper bounds.  Plain WAND compares the heap threshold
+against term-global bounds, which are hopelessly loose for common
+terms: one high-tf posting anywhere in a list inflates the bound for
+the entire list.  BMW instead consults the
+:class:`~repro.index.blockmax.BlockMetadata` the index keeps per
+postings block (last doc id, max tf, min doc length):
+
+1. **Shallow pointer movement** — per-cursor block pointers advance
+   over the block summary arrays (one ``searchsorted`` per cursor per
+   pivot) without touching postings.
+2. **Deep descent only into candidate blocks** — the pivot document is
+   scored only when the *sum of local block bounds* can still beat the
+   threshold; otherwise the traversal jumps every contributing cursor
+   past the earliest block boundary in one skip.
+3. **Vectorized block scoring** — on first descent into a block the
+   whole block's contributions are computed with the scorer's
+   ``score_block`` and memoized, so repeated hits in a hot block cost
+   an array lookup.
+
+Pivot selection is identical to :func:`repro.search.wand.score_wand`
+(global bounds, strict ``>`` test — safe because BM25's global bound is
+a strict supremum for ``k1 > 0``).  Block bounds, by contrast, are
+*achievable*: ``score(max_tf, min_doc_length)`` is attained whenever
+one posting realizes both extremes, and the top-k heap admits
+threshold-tied documents with smaller doc ids.  The block-skip test is
+therefore strict the other way: skip only when ``block_upper <
+threshold``, descend on ties.  Under these rules BMW returns the same
+top-k — ids *and* bit-identical scores — as exhaustive DAAT, while
+scoring a subset of the documents plain WAND scores.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+import numpy as np
+
+from repro.index.blockmax import BlockMetadata
+from repro.index.inverted import InvertedIndex
+from repro.search.query import ParsedQuery, QueryMode
+from repro.search.scoring import BM25Scorer, resolve_idf
+from repro.search.strategy import TraversalStats
+from repro.search.topk import SearchHit, TopKHeap
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.registry import MetricsRegistry
+
+
+class _BlockMaxCursor:
+    """Postings cursor with block metadata and a shallow block pointer.
+
+    Like :class:`repro.search.wand._WandCursor`, exhaustion is explicit:
+    ``current`` raises on an exhausted cursor instead of returning a
+    sentinel doc id.
+    """
+
+    __slots__ = (
+        "doc_ids",
+        "frequencies",
+        "position",
+        "idf",
+        "max_score",
+        "blocks",
+        "block_bounds",
+        "block_index",
+        "_block_scores",
+    )
+
+    def __init__(
+        self,
+        postings,
+        idf: float,
+        max_score: float,
+        blocks: BlockMetadata,
+        block_bounds: np.ndarray,
+    ):
+        self.doc_ids = postings.doc_ids
+        self.frequencies = postings.frequencies
+        self.position = 0
+        self.idf = idf
+        self.max_score = max_score
+        self.blocks = blocks
+        self.block_bounds = block_bounds
+        # Shallow pointer: index of the last block looked up.  Pivot
+        # documents are non-decreasing over a BMW run, so the pointer
+        # only ever moves forward.
+        self.block_index = 0
+        self._block_scores: Dict[int, np.ndarray] = {}
+
+    @property
+    def exhausted(self) -> bool:
+        return self.position >= len(self.doc_ids)
+
+    @property
+    def current(self) -> int:
+        if self.exhausted:
+            raise IndexError("cursor is exhausted; check .exhausted first")
+        return int(self.doc_ids[self.position])
+
+    def seek(self, target: int) -> None:
+        """Advance (deep) to the first posting with doc id >= target."""
+        if self.exhausted:
+            return
+        self.position = int(
+            np.searchsorted(self.doc_ids[self.position :], target)
+            + self.position
+        )
+
+    def shallow_seek(self, target: int) -> Optional[int]:
+        """Advance the block pointer to the block containing ``target``.
+
+        Returns the block index whose last doc id is >= ``target`` —
+        the only block that could hold ``target`` — or ``None`` when
+        every remaining block ends before it.  Touches only the block
+        summary array, never the postings.
+        """
+        last_doc_ids = self.blocks.last_doc_ids
+        block = int(
+            np.searchsorted(last_doc_ids[self.block_index :], target)
+            + self.block_index
+        )
+        self.block_index = block
+        if block >= self.blocks.num_blocks:
+            return None
+        return block
+
+    def score_current(self, scorer, doc_lengths: np.ndarray) -> float:
+        """Score the posting under the cursor, via the block cache.
+
+        The first touch of a block computes the whole block's
+        contributions in one vectorized ``score_block`` call (falling
+        back to the scalar path for scorers without one) and memoizes
+        the array; the result is bit-identical to a scalar
+        ``scorer.score`` call by ``score_block``'s contract.
+        """
+        block_size = self.blocks.block_size
+        block = self.position // block_size
+        cached = self._block_scores.get(block)
+        if cached is None:
+            start = block * block_size
+            end = min(start + block_size, len(self.doc_ids))
+            frequencies = self.frequencies[start:end]
+            lengths = doc_lengths[self.doc_ids[start:end]]
+            score_block = getattr(scorer, "score_block", None)
+            if score_block is not None:
+                cached = score_block(frequencies, lengths, self.idf)
+            else:
+                cached = np.array(
+                    [
+                        scorer.score(int(frequency), int(length), self.idf)
+                        for frequency, length in zip(frequencies, lengths)
+                    ],
+                    dtype=np.float64,
+                )
+            self._block_scores[block] = cached
+        return float(cached[self.position - block * block_size])
+
+
+def score_block_max_wand(
+    index: InvertedIndex,
+    query: ParsedQuery,
+    scorer: Optional[BM25Scorer] = None,
+    metrics: Optional["MetricsRegistry"] = None,
+    stats: Optional[TraversalStats] = None,
+) -> List[SearchHit]:
+    """Evaluate a disjunctive query with Block-Max WAND pruning.
+
+    Only ``QueryMode.OR`` queries are supported, mirroring
+    :func:`~repro.search.wand.score_wand`.  With ``metrics``, the
+    scored-document, pivot-skip, and block-skip totals are added to the
+    registry once per call (same ``wand.*`` counter family as plain
+    WAND, plus ``wand.block_skips``); ``stats``, when given, receives
+    the same per-query numbers.
+    """
+    if query.mode is not QueryMode.OR:
+        raise ValueError("score_block_max_wand supports OR queries only")
+    if query.is_empty or index.num_documents == 0:
+        return []
+    if scorer is None:
+        scorer = BM25Scorer(
+            num_documents=index.num_documents,
+            average_doc_length=index.average_doc_length,
+        )
+
+    cursors: List[_BlockMaxCursor] = []
+    for term in query.terms:
+        info = index.term_info(term)
+        if info is None:
+            continue
+        postings = index.postings_for_id(info.term_id)
+        if len(postings) == 0:
+            continue
+        idf = resolve_idf(scorer, term, info.document_frequency)
+        blocks = index.block_metadata_for_id(info.term_id)
+        cursors.append(
+            _BlockMaxCursor(
+                postings,
+                idf,
+                scorer.max_score(idf),
+                blocks,
+                blocks.max_scores(scorer, idf),
+            )
+        )
+    if not cursors:
+        return []
+
+    heap = TopKHeap(query.k)
+    doc_lengths = index.doc_lengths
+    docs_scored = 0
+    pivot_skips = 0
+    block_skips = 0
+
+    while True:
+        live = [cursor for cursor in cursors if not cursor.exhausted]
+        if not live:
+            break
+        live.sort(key=lambda cursor: cursor.current)
+
+        # Stage 1 — WAND pivot on term-global bounds, identical to
+        # plain WAND so both algorithms walk the same pivot sequence
+        # (which is what makes BMW's scored set a subset of WAND's).
+        threshold = heap.threshold()
+        upper_bound = 0.0
+        pivot_index = -1
+        for cursor_index, cursor in enumerate(live):
+            upper_bound += cursor.max_score
+            if upper_bound > threshold:
+                pivot_index = cursor_index
+                break
+        if pivot_index < 0:
+            break  # no document can beat the threshold anymore
+        pivot_doc = live[pivot_index].current
+
+        # Absorb trailing cursors sitting exactly on the pivot: they
+        # contribute to its score, so their blocks belong in the local
+        # bound (and they must move together on a block skip).
+        pivot_end = pivot_index
+        while (
+            pivot_end + 1 < len(live)
+            and live[pivot_end + 1].current == pivot_doc
+        ):
+            pivot_end += 1
+
+        # Stage 2 — shallow refinement: sum the *local* block bounds of
+        # every cursor that could contribute to pivot_doc, tracking the
+        # earliest block boundary for the skip jump.
+        block_upper = 0.0
+        boundary: Optional[int] = None
+        for cursor in live[: pivot_end + 1]:
+            block = cursor.shallow_seek(pivot_doc)
+            if block is None:
+                continue  # cursor's remaining postings all precede pivot
+            block_upper += float(cursor.block_bounds[block])
+            last = int(cursor.blocks.last_doc_ids[block])
+            if boundary is None or last < boundary:
+                boundary = last
+
+        if boundary is not None and block_upper < threshold:
+            # Stage 3a — block skip.  Every document in
+            # [pivot_doc, next_doc) lies inside the blocks just bounded,
+            # so its score is <= block_upper < threshold and the heap
+            # cannot admit it (ties are impossible under a strict
+            # inequality).  Jump all contributing cursors past the
+            # earliest boundary — or to the next cursor's document,
+            # whichever is closer.
+            block_skips += 1
+            next_doc = boundary + 1
+            if pivot_end + 1 < len(live):
+                next_doc = min(next_doc, live[pivot_end + 1].current)
+            for cursor in live[: pivot_end + 1]:
+                cursor.seek(next_doc)
+            continue
+
+        # Stage 3b — deep descent (same as plain WAND, with block-cache
+        # scoring).
+        if live[0].current == pivot_doc:
+            # Summation order among pivot-tied cursors is original term
+            # order (stable sort), matching exhaustive DAAT bit for bit.
+            score = 0.0
+            for cursor in live:
+                if cursor.exhausted or cursor.current != pivot_doc:
+                    break
+                score += cursor.score_current(scorer, doc_lengths)
+            heap.offer(pivot_doc, score)
+            docs_scored += 1
+            for cursor in live:
+                if not cursor.exhausted and cursor.current == pivot_doc:
+                    cursor.seek(pivot_doc + 1)
+        else:
+            pivot_skips += 1
+            for cursor in live[:pivot_index]:
+                cursor.seek(pivot_doc)
+
+    if stats is not None:
+        stats.docs_scored += docs_scored
+        stats.pivot_skips += pivot_skips
+        stats.block_skips += block_skips
+    if metrics is not None:
+        metrics.counter("wand.docs_scored").add(docs_scored)
+        metrics.counter("wand.pivot_skips").add(pivot_skips)
+        metrics.counter("wand.block_skips").add(block_skips)
+    return heap.results()

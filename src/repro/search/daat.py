@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, List, Optional, Sequence
 from repro.index.inverted import InvertedIndex
 from repro.search.query import ParsedQuery, QueryMode
 from repro.search.scoring import BM25Scorer, Scorer, resolve_idf
+from repro.search.strategy import TraversalStats
 from repro.search.topk import SearchHit, TopKHeap
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -23,15 +24,22 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class _Cursor:
-    """A traversal cursor over one term's postings."""
+    """A traversal cursor over one term's postings.
 
-    __slots__ = ("doc_ids", "frequencies", "position", "idf")
+    ``scores`` optionally holds the precomputed per-posting score
+    contributions (vectorized once up front when the scorer supports
+    ``score_block``); exhaustive DAAT touches every posting anyway, so
+    the batch computation is never wasted work.
+    """
+
+    __slots__ = ("doc_ids", "frequencies", "position", "idf", "scores")
 
     def __init__(self, postings, idf: float):
         self.doc_ids = postings.doc_ids
         self.frequencies = postings.frequencies
         self.position = 0
         self.idf = idf
+        self.scores = None
 
     @property
     def exhausted(self) -> bool:
@@ -54,13 +62,15 @@ def score_daat(
     query: ParsedQuery,
     scorer: Scorer | None = None,
     metrics: Optional["MetricsRegistry"] = None,
+    stats: Optional[TraversalStats] = None,
 ) -> List[SearchHit]:
     """Evaluate ``query`` over ``index`` document-at-a-time.
 
     Returns the top-k hits (best first).  ``scorer`` defaults to BM25
     with the index's collection statistics.  With ``metrics``, the
     traversal's postings/candidate/heap-offer totals are added to the
-    registry once after the loop, so the inner loop stays registry-free.
+    registry once after the loop, so the inner loop stays registry-free;
+    ``stats``, when given, receives the per-query scored-document count.
     """
     if query.is_empty:
         return []
@@ -82,6 +92,17 @@ def score_daat(
     doc_lengths = index.doc_lengths
     required = len(query.terms) if query.mode is QueryMode.AND else 1
 
+    # Exhaustive traversal reads every posting, so when the scorer is
+    # vectorizable the whole contribution array is computed in one numpy
+    # pass per term (bit-identical to the scalar path by score_block's
+    # contract) and the inner loop reduces to an array lookup.
+    score_block = getattr(scorer, "score_block", None)
+    if score_block is not None:
+        for cursor in cursors:
+            cursor.scores = score_block(
+                cursor.frequencies, doc_lengths[cursor.doc_ids], cursor.idf
+            )
+
     # Min-heap of (current_doc_id, cursor_index) drives the lock-step.
     frontier = [
         (cursor.current, cursor_index)
@@ -100,9 +121,14 @@ def score_daat(
         while frontier and frontier[0][0] == doc_id:
             _, cursor_index = heapq.heappop(frontier)
             cursor = cursors[cursor_index]
-            score += scorer.score(
-                cursor.current_frequency, int(doc_lengths[doc_id]), cursor.idf
-            )
+            if cursor.scores is not None:
+                score += float(cursor.scores[cursor.position])
+            else:
+                score += scorer.score(
+                    cursor.current_frequency,
+                    int(doc_lengths[doc_id]),
+                    cursor.idf,
+                )
             matched += 1
             cursor.advance()
             if not cursor.exhausted:
@@ -111,6 +137,8 @@ def score_daat(
             heap.offer(doc_id, score)
             offers += 1
 
+    if stats is not None:
+        stats.docs_scored += candidates
     if metrics is not None:
         metrics.counter("daat.postings_traversed").add(
             sum(cursor.position for cursor in cursors)

@@ -9,15 +9,37 @@ from typing import Callable, List, Optional, Tuple, Union
 from repro.index.inverted import InvertedIndex
 from repro.index.partitioner import IndexShard
 from repro.obs.registry import MetricsRegistry
+from repro.search.block_max_wand import score_block_max_wand
 from repro.search.daat import score_daat
 from repro.search.query import DEFAULT_TOP_K, ParsedQuery, QueryMode, QueryParser
 from repro.search.scoring import BM25Scorer, Scorer
+from repro.search.strategy import TraversalStats, TraversalStrategy
 from repro.search.taat import score_taat
 from repro.search.topk import SearchHit
 from repro.search.wand import score_wand
 
 #: Supported traversal algorithms.
-ALGORITHMS = ("daat", "taat", "wand")
+ALGORITHMS = ("daat", "taat", "wand", "block_max_wand")
+
+
+def _normalize_algorithm(value: Union[str, TraversalStrategy]) -> str:
+    """Map a strategy enum or spelling variant to an algorithm name.
+
+    ``"taat"`` stays a distinct algorithm (it is an exhaustive traversal
+    with a different execution order), so only non-algorithm spellings
+    go through :meth:`TraversalStrategy.coerce`.
+    """
+    if isinstance(value, TraversalStrategy):
+        return value.algorithm
+    if isinstance(value, str):
+        normalized = value.strip().lower().replace("-", "_")
+        if normalized in ALGORITHMS:
+            return normalized
+        try:
+            return TraversalStrategy.coerce(normalized).algorithm
+        except ValueError:
+            return normalized  # __post_init__ reports the full choice list
+    return value
 
 
 class SearchCancelled(RuntimeError):
@@ -44,11 +66,19 @@ class SearchResult:
     matched_volume:
         Total postings volume of the query's terms in this index —
         the per-query work proxy used for characterization/calibration.
+    docs_scored:
+        Documents fully scored by the traversal, or None when the
+        algorithm does not report it (taat).
+    blocks_skipped:
+        Block-level skips taken by block-max traversal; None for
+        algorithms without block metadata.
     """
 
     hits: Tuple[SearchHit, ...]
     query: ParsedQuery
     matched_volume: int
+    docs_scored: Optional[int] = None
+    blocks_skipped: Optional[int] = None
 
     def doc_ids(self) -> List[int]:
         """Doc ids of the hits, best first."""
@@ -69,7 +99,10 @@ class Searcher:
         The index to search.
     algorithm:
         ``"daat"`` (benchmark-faithful, default), ``"taat"`` (vectorized),
-        or ``"wand"`` (early-terminated; OR queries only).
+        ``"wand"``, or ``"block_max_wand"`` (early-terminated; OR
+        queries only).  A :class:`~repro.search.strategy.TraversalStrategy`
+        (or one of its aliases, e.g. ``"exhaustive"``) is accepted and
+        normalized to the algorithm name.
     scorer_factory:
         Builds the scorer from the index; defaults to BM25 with the
         index's collection statistics.
@@ -80,12 +113,13 @@ class Searcher:
     """
 
     index: InvertedIndex
-    algorithm: str = "daat"
+    algorithm: Union[str, TraversalStrategy] = "daat"
     scorer_factory: Optional[Callable[[InvertedIndex], Scorer]] = None
     metrics: Optional[MetricsRegistry] = None
     _parser: QueryParser = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
+        self.algorithm = _normalize_algorithm(self.algorithm)
         if self.algorithm not in ALGORITHMS:
             raise ValueError(
                 f"unknown algorithm {self.algorithm!r}; choose from {ALGORITHMS}"
@@ -122,12 +156,29 @@ class Searcher:
         if isinstance(query, str):
             query = self.parse(query, mode=mode, k=k)
         scorer = self._make_scorer()
+        stats = TraversalStats()
         if self.algorithm == "taat":
             hits = score_taat(self.index, query, scorer)
+            docs_scored: Optional[int] = None
+            blocks_skipped: Optional[int] = None
         elif self.algorithm == "wand":
-            hits = score_wand(self.index, query, scorer, metrics=self.metrics)
+            hits = score_wand(
+                self.index, query, scorer, metrics=self.metrics, stats=stats
+            )
+            docs_scored = stats.docs_scored
+            blocks_skipped = None
+        elif self.algorithm == "block_max_wand":
+            hits = score_block_max_wand(
+                self.index, query, scorer, metrics=self.metrics, stats=stats
+            )
+            docs_scored = stats.docs_scored
+            blocks_skipped = stats.block_skips
         else:
-            hits = score_daat(self.index, query, scorer, metrics=self.metrics)
+            hits = score_daat(
+                self.index, query, scorer, metrics=self.metrics, stats=stats
+            )
+            docs_scored = stats.docs_scored
+            blocks_skipped = None
         matched_volume = self.index.matched_postings_volume(list(query.terms))
         if self.metrics is not None:
             self.metrics.counter("search.queries").add()
@@ -136,6 +187,8 @@ class Searcher:
             hits=tuple(hits),
             query=query,
             matched_volume=matched_volume,
+            docs_scored=docs_scored,
+            blocks_skipped=blocks_skipped,
         )
 
     def _make_scorer(self) -> Scorer:
@@ -156,7 +209,7 @@ class ShardSearcher:
     """
 
     shard: IndexShard
-    algorithm: str = "daat"
+    algorithm: Union[str, TraversalStrategy] = "daat"
     scorer_factory: Optional[Callable[[InvertedIndex], Scorer]] = None
     metrics: Optional[MetricsRegistry] = None
     _searcher: Searcher = field(init=False, repr=False)
@@ -190,4 +243,6 @@ class ShardSearcher:
             hits=global_hits,
             query=local.query,
             matched_volume=local.matched_volume,
+            docs_scored=local.docs_scored,
+            blocks_skipped=local.blocks_skipped,
         )

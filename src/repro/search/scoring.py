@@ -13,6 +13,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Protocol
 
+import numpy as np
+
 
 class Scorer(Protocol):
     """Per-term document scorer protocol."""
@@ -80,10 +82,35 @@ class BM25Scorer:
         )
         return idf * term_frequency * (self.k1 + 1.0) / (term_frequency + normalizer)
 
+    def score_block(
+        self,
+        frequencies: np.ndarray,
+        doc_lengths: np.ndarray,
+        idf: float,
+    ) -> np.ndarray:
+        """Vectorized :meth:`score` over a block of postings.
+
+        Evaluates the identical float64 expression element-wise, in the
+        same operation order as the scalar path, so the returned array
+        is bit-for-bit equal to per-posting :meth:`score` calls — the
+        property the block-max traversal's "bit-identical to exhaustive
+        DAAT" contract rests on.  ``frequencies`` must be positive
+        (postings lists never store zero counts).
+        """
+        average = self.average_doc_length if self.average_doc_length > 0 else 1.0
+        frequencies = frequencies.astype(np.float64)
+        normalizer = self.k1 * (
+            1.0 - self.b + self.b * doc_lengths.astype(np.float64) / average
+        )
+        return idf * frequencies * (self.k1 + 1.0) / (frequencies + normalizer)
+
     def max_score(self, idf: float) -> float:
         """Upper bound of :meth:`score` over any document (tf → ∞, b-term → 0).
 
         Used by WAND-style early termination as a safe per-term bound.
+        For ``k1 > 0`` the bound is a strict supremum: no finite tf
+        attains it, which is what lets the pivot test use a strict
+        comparison without dropping threshold-tied documents.
         """
         return idf * (self.k1 + 1.0)
 

@@ -77,18 +77,13 @@ def _vector_scores(
 ) -> np.ndarray:
     """Vectorized scoring of one term's postings.
 
-    BM25 gets a closed-form numpy path; any other scorer falls back to
-    a per-posting Python loop (still correct, just slower).
+    Scorers exposing ``score_block`` (BM25) get the closed-form numpy
+    path; any other scorer falls back to a per-posting Python loop
+    (still correct, just slower).
     """
-    if isinstance(scorer, BM25Scorer):
-        average = (
-            scorer.average_doc_length if scorer.average_doc_length > 0 else 1.0
-        )
-        frequencies = frequencies.astype(np.float64)
-        normalizer = scorer.k1 * (
-            1.0 - scorer.b + scorer.b * doc_lengths.astype(np.float64) / average
-        )
-        return idf * frequencies * (scorer.k1 + 1.0) / (frequencies + normalizer)
+    score_block = getattr(scorer, "score_block", None)
+    if score_block is not None:
+        return score_block(frequencies, doc_lengths, idf)
     return np.array(
         [
             scorer.score(int(frequency), int(length), idf)

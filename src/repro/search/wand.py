@@ -9,16 +9,21 @@ reproduction:
 1. a correctness cross-check — WAND must return the same top-k scores
    as exhaustive DAAT;
 2. the substrate for the "future work" ablation comparing exhaustive
-   vs. dynamically-pruned evaluation under partitioning.
+   vs. dynamically-pruned evaluation under partitioning (and the base
+   algorithm :mod:`repro.search.block_max_wand` refines with per-block
+   bounds).
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, List, Optional
 
+import numpy as np
+
 from repro.index.inverted import InvertedIndex
 from repro.search.query import ParsedQuery, QueryMode
 from repro.search.scoring import BM25Scorer, resolve_idf
+from repro.search.strategy import TraversalStats
 from repro.search.topk import SearchHit, TopKHeap
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -26,7 +31,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 class _WandCursor:
-    """Postings cursor carrying a per-term score upper bound."""
+    """Postings cursor carrying a per-term score upper bound.
+
+    Exhaustion is explicit: callers must check :attr:`exhausted` before
+    touching :attr:`current`.  (An earlier revision returned a
+    ``1 << 62`` sentinel from ``current`` when exhausted; arithmetic on
+    the sentinel could silently leak into seek targets and doc-length
+    lookups, so it now raises instead.)
+    """
 
     __slots__ = ("doc_ids", "frequencies", "position", "idf", "max_score")
 
@@ -44,13 +56,11 @@ class _WandCursor:
     @property
     def current(self) -> int:
         if self.exhausted:
-            return 1 << 62  # sentinel beyond any real doc id
+            raise IndexError("cursor is exhausted; check .exhausted first")
         return int(self.doc_ids[self.position])
 
     def seek(self, target: int) -> None:
         """Advance to the first posting with doc id >= target."""
-        import numpy as np
-
         if self.exhausted:
             return
         self.position = int(
@@ -64,13 +74,15 @@ def score_wand(
     query: ParsedQuery,
     scorer: Optional[BM25Scorer] = None,
     metrics: Optional["MetricsRegistry"] = None,
+    stats: Optional[TraversalStats] = None,
 ) -> List[SearchHit]:
     """Evaluate a disjunctive query with WAND pruning.
 
     Only ``QueryMode.OR`` queries are supported (WAND is a disjunctive
     algorithm; conjunctive queries already skip aggressively).  With
     ``metrics``, the number of fully-scored documents and of pivot
-    skips are added to the registry once per call.
+    skips are added to the registry once per call; ``stats``, when
+    given, receives the same per-query numbers.
     """
     if query.mode is not QueryMode.OR:
         raise ValueError("score_wand supports OR queries only")
@@ -107,7 +119,10 @@ def score_wand(
         live.sort(key=lambda cursor: cursor.current)
 
         # Find the pivot: the first cursor at which the running sum of
-        # upper bounds exceeds the heap threshold.
+        # upper bounds exceeds the heap threshold.  The strict test is
+        # safe because BM25's max_score is a strict supremum (k1 > 0):
+        # a document whose bound merely ties the threshold cannot
+        # actually reach it.
         threshold = heap.threshold()
         upper_bound = 0.0
         pivot_index = -1
@@ -122,9 +137,13 @@ def score_wand(
 
         if live[0].current == pivot_doc:
             # All cursors up to the pivot sit on pivot_doc: score it.
+            # Summation runs in sorted-cursor order, which for cursors
+            # tied on pivot_doc is their original term order (the sort
+            # is stable) — the same order exhaustive DAAT sums in, so
+            # float rounding matches bit for bit.
             score = 0.0
             for cursor in live:
-                if cursor.current != pivot_doc:
+                if cursor.exhausted or cursor.current != pivot_doc:
                     break
                 score += scorer.score(
                     int(cursor.frequencies[cursor.position]),
@@ -134,7 +153,7 @@ def score_wand(
             heap.offer(pivot_doc, score)
             docs_scored += 1
             for cursor in live:
-                if cursor.current == pivot_doc:
+                if not cursor.exhausted and cursor.current == pivot_doc:
                     cursor.seek(pivot_doc + 1)
         else:
             # Skip the leading cursors straight to the pivot document.
@@ -142,6 +161,9 @@ def score_wand(
             for cursor in live[:pivot_index]:
                 cursor.seek(pivot_doc)
 
+    if stats is not None:
+        stats.docs_scored += docs_scored
+        stats.pivot_skips += pivot_skips
     if metrics is not None:
         metrics.counter("wand.docs_scored").add(docs_scored)
         metrics.counter("wand.pivot_skips").add(pivot_skips)

@@ -1,11 +1,13 @@
 """Unit + property tests for the LRU and query result caches."""
 
+import threading
+
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.cache.lru import LRUCache
-from repro.cache.querycache import QueryResultCache, make_cache_key
+from repro.cache.querycache import CachedPage, QueryResultCache, make_cache_key
 from repro.search.query import ParsedQuery, QueryMode
 from repro.search.topk import SearchHit
 
@@ -116,6 +118,80 @@ class TestLRUCache:
         for key in cache.keys():
             assert cache.get(key) == reference[key]
 
+    def test_put_reports_eviction_count(self):
+        cache = LRUCache(2)
+        assert cache.put("a", 1) == 0
+        assert cache.put("b", 2) == 0
+        assert cache.put("a", 10) == 0  # overwrite: nothing evicted
+        assert cache.put("c", 3) == 1  # "b" falls out
+
+
+class TestLRUCacheThreadSafety:
+    """Regression for the unsynchronized OrderedDict mutation bug.
+
+    ISN worker threads used to race ``move_to_end``/``popitem``; under
+    contention the cache could over-evict past capacity, corrupt the
+    recency order, or raise ``KeyError`` from ``move_to_end`` on a key
+    another thread had just evicted.
+    """
+
+    def test_concurrent_put_get_stress(self):
+        capacity = 16
+        cache = LRUCache(capacity)
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def hammer(seed):
+            try:
+                barrier.wait()
+                for i in range(2000):
+                    key = (seed * 7 + i * 13) % 64
+                    cache.put(key, (seed, i))
+                    cache.get((seed + i) % 64)
+                    if i % 50 == 0:
+                        assert len(cache) <= capacity
+                        cache.keys()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(seed,)) for seed in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(cache) <= capacity
+        # Recency order survived: keys() is consistent and every entry
+        # is still retrievable.
+        for key in cache.keys():
+            assert cache.get(key) is not None
+
+    def test_concurrent_eviction_accounting(self):
+        cache = LRUCache(4)
+        evictions = []
+        barrier = threading.Barrier(4)
+
+        def writer(seed):
+            barrier.wait()
+            local = 0
+            for i in range(1000):
+                local += cache.put((seed, i), i)
+            evictions.append(local)
+
+        threads = [
+            threading.Thread(target=writer, args=(seed,)) for seed in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # 4000 distinct inserts into capacity 4: all but the survivors
+        # were evicted, and every eviction was attributed exactly once.
+        assert sum(evictions) == 4000 - len(cache)
+        assert cache.stats.evictions == sum(evictions)
+
 
 class TestQueryResultCache:
     def _query(self, terms=("web", "search"), k=10, mode=QueryMode.OR):
@@ -151,6 +227,21 @@ class TestQueryResultCache:
         cache.lookup(self._query())
         assert cache.stats.misses == 1
 
+    def test_entry_carries_matched_volume(self):
+        cache = QueryResultCache(4)
+        hits = (SearchHit(score=1.0, doc_id=3),)
+        cache.store(self._query(), hits, matched_volume=57)
+        entry = cache.lookup_entry(self._query())
+        assert isinstance(entry, CachedPage)
+        assert entry.hits == hits
+        assert entry.matched_volume == 57
+
+    def test_lookup_still_returns_bare_hits(self):
+        cache = QueryResultCache(4)
+        hits = (SearchHit(score=2.0, doc_id=7),)
+        cache.store(self._query(), hits, matched_volume=3)
+        assert cache.lookup(self._query()) == hits
+
 
 class TestIsnCacheIntegration:
     def test_cached_response_matches_uncached(
@@ -170,6 +261,24 @@ class TestIsnCacheIntegration:
             assert second.hits == first.hits
             # Cache hits skip the fan-out entirely.
             assert second.timings.shard_seconds == []
+
+    def test_cached_response_preserves_matched_volume(
+        self, small_collection, small_query_log
+    ):
+        """Regression: cache hits used to respond with matched_volume=0."""
+        from repro.engine.isn import IndexServingNode
+        from repro.index.partitioner import partition_index
+
+        cache = QueryResultCache(64)
+        partitioned = partition_index(small_collection, 2)
+        with IndexServingNode(partitioned, cache=cache) as isn:
+            query = small_query_log[0]
+            first = isn.execute(query.text)
+            assert first.matched_volume > 0
+            assert first.cached is False
+            second = isn.execute(query.text)
+            assert second.cached is True
+            assert second.matched_volume == first.matched_volume
 
     def test_serial_path_bypasses_cache(self, small_collection, small_query_log):
         from repro.engine.isn import IndexServingNode

@@ -160,3 +160,95 @@ class TestSimulatedServerPartitioned:
             PartitionModelConfig(imbalance_concentration=0.0)
         with pytest.raises(ValueError):
             PartitionModelConfig(merge_base=-0.1)
+
+
+class TestTraversalCostModel:
+    def test_default_is_exhaustive(self):
+        from repro.search.strategy import TraversalStrategy
+
+        config = PartitionModelConfig()
+        assert config.traversal is TraversalStrategy.EXHAUSTIVE
+        assert config.effective_demand(2.0) == 2.0
+
+    def test_string_traversal_coerced(self):
+        from repro.search.strategy import TraversalStrategy
+
+        config = PartitionModelConfig(traversal="block-max-wand")
+        assert config.traversal is TraversalStrategy.BLOCK_MAX_WAND
+
+    def test_unknown_traversal_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionModelConfig(traversal="magic")
+
+    def test_pruning_factor_validated(self):
+        with pytest.raises(ValueError):
+            PartitionModelConfig(pruning_factor=0.0)
+        with pytest.raises(ValueError):
+            PartitionModelConfig(pruning_factor=1.5)
+
+    def test_pruning_scales_demand(self):
+        config = PartitionModelConfig(traversal="wand", pruning_factor=0.4)
+        assert config.effective_demand(2.0) == pytest.approx(0.8)
+
+    def test_pruning_factor_ignored_for_exhaustive(self):
+        config = PartitionModelConfig(
+            traversal="exhaustive", pruning_factor=0.4
+        )
+        assert config.effective_demand(2.0) == 2.0
+
+    def test_total_work_scales_only_scoring_demand(self):
+        exhaustive = PartitionModelConfig(
+            num_partitions=4, traversal="exhaustive"
+        )
+        pruned = PartitionModelConfig(
+            num_partitions=4, traversal="wand", pruning_factor=0.5
+        )
+        # Overheads and merge are posting-volume independent.
+        saved = exhaustive.total_work(1.0) - pruned.total_work(1.0)
+        assert saved == pytest.approx(0.5)
+
+    def test_pruned_latency_beats_exhaustive(self):
+        results = {}
+        for traversal in ("exhaustive", "wand"):
+            sim = Simulator()
+            completions = []
+            config = PartitionModelConfig(
+                num_partitions=1,
+                partition_overhead=0.0,
+                merge_base=0.0,
+                merge_per_partition=0.0,
+                traversal=traversal,
+                pruning_factor=0.5,
+            )
+            server = make_server(sim, completions, partitions=config)
+            record = submit(sim, server, 0.0, 1.0)
+            sim.run()
+            results[traversal] = record.merge_end
+        assert results["wand"] == pytest.approx(results["exhaustive"] / 2)
+
+    def test_pruning_counters_recorded(self):
+        from repro.obs.registry import MetricsRegistry
+
+        registry = MetricsRegistry()
+        sim = Simulator()
+        spec = ServerSpec(
+            name="test",
+            num_cores=2,
+            core_speed=1.0,
+            idle_power_watts=0.0,
+            peak_power_watts=1.0,
+        )
+        config = PartitionModelConfig(traversal="wand", pruning_factor=0.25)
+        server = SimulatedServer(
+            sim,
+            spec,
+            config,
+            imbalance_rng=np.random.default_rng(0),
+            metrics=registry,
+        )
+        submit(sim, server, 0.0, 2.0)
+        sim.run()
+        assert registry.counter("sim.wand.queries_pruned").value == 1
+        assert registry.counter(
+            "sim.wand.demand_saved_s"
+        ).value == pytest.approx(1.5)

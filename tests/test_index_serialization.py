@@ -145,21 +145,14 @@ class TestSerialization:
 
 
 class TestChecksum:
-    """Version-2 integrity verification (corrupted-postings detection)."""
+    """Version-2+ integrity verification (corrupted-postings detection)."""
 
     def _v1_payload(self, index) -> bytes:
-        """Rewrite a v2 payload as version 1 (checksum field removed)."""
-        from repro.index.compression import decode_varint
+        """A genuine version-1 payload (no checksum, no block section)."""
+        return serialize_index(index, version=1)
 
-        data = serialize_index(index)
-        offset = 6
-        _, offset = decode_varint(data, offset)  # max_token_length
-        header = bytearray(data[:offset])
-        header[4] = 1
-        return bytes(header) + data[offset + 4 :]
-
-    def test_current_version_is_two(self, small_index):
-        assert serialize_index(small_index)[4] == 2
+    def test_current_version_is_three(self, small_index):
+        assert serialize_index(small_index)[4] == 3
 
     def test_flipped_postings_byte_detected(self, small_index):
         from repro.index.serialization import CorruptedIndexError
@@ -236,3 +229,84 @@ class TestChecksum:
         data[len(data) // 2] ^= 0x40  # in the embedded RIDX body
         with pytest.raises(CorruptedIndexError):
             deserialize_positional_index(bytes(data))
+
+
+class TestFormatVersions:
+    """Version-3 block metadata plus v1/v2 backward compatibility."""
+
+    def _block_index(self, small_collection, block_size=4):
+        from repro.index.builder import IndexBuilder
+
+        return IndexBuilder(block_size=block_size).build(small_collection)
+
+    def test_unsupported_write_version_rejected(self, small_index):
+        with pytest.raises(ValueError, match="version"):
+            serialize_index(small_index, version=4)
+
+    def test_version2_payload_still_loads(self, small_index):
+        data = serialize_index(small_index, version=2)
+        assert data[4] == 2
+        restored = deserialize_index(data)
+        assert restored.num_terms == small_index.num_terms
+        assert restored.dictionary.terms() == small_index.dictionary.terms()
+
+    def test_version2_corruption_still_detected(self, small_index):
+        from repro.index.serialization import CorruptedIndexError
+
+        data = bytearray(serialize_index(small_index, version=2))
+        data[-10] ^= 0x40
+        with pytest.raises(CorruptedIndexError):
+            deserialize_index(bytes(data))
+
+    def test_v3_roundtrip_preserves_block_metadata(self, small_collection):
+        index = self._block_index(small_collection)
+        restored = deserialize_index(serialize_index(index))
+        assert restored.block_size == index.block_size
+        for term_id in range(index.num_terms):
+            original = index.block_metadata_for_id(term_id)
+            loaded = restored.block_metadata_for_id(term_id)
+            assert np.array_equal(original.last_doc_ids, loaded.last_doc_ids)
+            assert np.array_equal(
+                original.max_frequencies, loaded.max_frequencies
+            )
+            assert np.array_equal(
+                original.min_doc_lengths, loaded.min_doc_lengths
+            )
+
+    def test_legacy_payloads_derive_block_metadata_lazily(
+        self, small_collection
+    ):
+        index = self._block_index(small_collection, block_size=128)
+        for version in (1, 2):
+            restored = deserialize_index(
+                serialize_index(index, version=version)
+            )
+            for term_id in range(min(index.num_terms, 50)):
+                original = index.block_metadata_for_id(term_id)
+                derived = restored.block_metadata_for_id(term_id)
+                assert np.array_equal(
+                    original.last_doc_ids, derived.last_doc_ids
+                )
+                assert np.array_equal(
+                    original.max_frequencies, derived.max_frequencies
+                )
+
+    def test_every_version_searches_identically(
+        self, small_index, small_query_log
+    ):
+        from repro.search.executor import Searcher
+
+        searchers = {
+            version: Searcher(
+                deserialize_index(serialize_index(small_index, version=version)),
+                algorithm="block_max_wand",
+            )
+            for version in (1, 2, 3)
+        }
+        baseline = Searcher(small_index)
+        for query in list(small_query_log)[:10]:
+            expected = baseline.search(query.text)
+            for version, searcher in searchers.items():
+                result = searcher.search(query.text)
+                assert result.doc_ids() == expected.doc_ids(), version
+                assert result.scores() == expected.scores(), version

@@ -48,6 +48,68 @@ class TestSearcher:
         assert len(result.doc_ids()) == len(result.scores())
 
 
+class TestTraversalStrategySelection:
+    def test_enum_accepted(self, small_index, small_query_log):
+        from repro.search.strategy import TraversalStrategy
+
+        searcher = Searcher(
+            small_index, algorithm=TraversalStrategy.BLOCK_MAX_WAND
+        )
+        assert searcher.algorithm == "block_max_wand"
+        result = searcher.search(small_query_log[0].text)
+        assert result.docs_scored is not None
+        assert result.blocks_skipped is not None
+
+    def test_exhaustive_spelling_maps_to_daat(self, small_index):
+        assert Searcher(small_index, algorithm="exhaustive").algorithm == "daat"
+        assert (
+            Searcher(small_index, algorithm="EXHAUSTIVE").algorithm == "daat"
+        )
+
+    def test_dashed_spelling_accepted(self, small_index):
+        searcher = Searcher(small_index, algorithm="block-max-wand")
+        assert searcher.algorithm == "block_max_wand"
+
+    def test_taat_stays_taat(self, small_index):
+        assert Searcher(small_index, algorithm="taat").algorithm == "taat"
+
+    def test_unknown_spelling_still_rejected(self, small_index):
+        with pytest.raises(ValueError):
+            Searcher(small_index, algorithm="magic")
+
+    def test_all_strategies_return_same_topk(
+        self, small_index, small_query_log
+    ):
+        from repro.search.strategy import TraversalStrategy
+
+        searchers = {
+            strategy: Searcher(small_index, algorithm=strategy)
+            for strategy in TraversalStrategy
+        }
+        for query in list(small_query_log)[:10]:
+            results = {
+                strategy: searcher.search(query.text)
+                for strategy, searcher in searchers.items()
+            }
+            baseline = results[TraversalStrategy.EXHAUSTIVE]
+            for strategy, result in results.items():
+                assert result.doc_ids() == baseline.doc_ids(), strategy
+                assert result.scores() == baseline.scores(), strategy
+
+    def test_docs_scored_reported_for_pruning_strategies(
+        self, small_index, small_query_log
+    ):
+        wand = Searcher(small_index, algorithm="wand")
+        bmw = Searcher(small_index, algorithm="block_max_wand")
+        text = small_query_log[0].text
+        wand_result = wand.search(text)
+        bmw_result = bmw.search(text)
+        assert wand_result.docs_scored is not None
+        assert wand_result.blocks_skipped is None
+        assert bmw_result.docs_scored is not None
+        assert bmw_result.docs_scored <= wand_result.docs_scored
+
+
 class TestShardSearcher:
     def test_global_ids_returned(self, small_collection):
         partitioned = partition_index(small_collection, 4)

@@ -4,6 +4,7 @@ import pytest
 
 from repro.corpus.documents import Document, DocumentCollection
 from repro.index.builder import IndexBuilder
+from repro.search.block_max_wand import score_block_max_wand
 from repro.search.daat import score_daat
 from repro.search.query import ParsedQuery, QueryMode
 from repro.search.taat import score_taat
@@ -12,12 +13,13 @@ from repro.search.wand import score_wand
 from repro.text.analyzer import Analyzer, AnalyzerConfig
 
 
-def build_index(texts):
+def build_index(texts, block_size=128):
     collection = DocumentCollection()
     for doc_id, text in enumerate(texts):
         collection.add(Document(doc_id, f"u{doc_id}", "", text))
     return IndexBuilder(
-        Analyzer(AnalyzerConfig(remove_stopwords=False, stem=False))
+        Analyzer(AnalyzerConfig(remove_stopwords=False, stem=False)),
+        block_size=block_size,
     ).build(collection)
 
 
@@ -117,6 +119,29 @@ class TestAgreement:
             round(h.score, 9) for h in daat
         ]
 
+    @pytest.mark.parametrize("query_index", range(len(QUERIES)))
+    @pytest.mark.parametrize("block_size", [2, 128])
+    def test_block_max_wand_bit_identical_to_daat(
+        self, query_index, block_size
+    ):
+        index = build_index(
+            [
+                "cat dog",
+                "dog dog bird",
+                "cat cat cat fish",
+                "fish",
+                "cat dog bird fish",
+                "unrelated words here",
+            ],
+            block_size=block_size,
+        )
+        query = self.QUERIES[query_index]
+        daat = score_daat(index, query)
+        bmw = score_block_max_wand(index, query)
+        assert [(h.doc_id, h.score) for h in bmw] == [
+            (h.doc_id, h.score) for h in daat
+        ]
+
     def test_and_mode_agreement(self, tiny_index):
         query = ParsedQuery(terms=("cat", "fish"), mode=QueryMode.AND, k=5)
         daat = score_daat(tiny_index, query)
@@ -137,7 +162,118 @@ class TestAgreement:
             daat = score_daat(small_index, query)
             taat = score_taat(small_index, query)
             wand = score_wand(small_index, query)
+            bmw = score_block_max_wand(small_index, query)
             assert [h.doc_id for h in daat] == [h.doc_id for h in taat]
             assert [round(h.score, 9) for h in wand] == [
                 round(h.score, 9) for h in daat
             ]
+            assert [(h.doc_id, h.score) for h in bmw] == [
+                (h.doc_id, h.score) for h in daat
+            ]
+
+
+@pytest.mark.parametrize(
+    "traversal", [score_wand, score_block_max_wand], ids=["wand", "bmw"]
+)
+class TestWandFamilyEdgeCases:
+    """Edge cases shared by WAND and Block-Max WAND."""
+
+    def test_empty_query(self, tiny_index, traversal):
+        assert traversal(tiny_index, ParsedQuery(terms=(), k=10)) == []
+
+    def test_unknown_terms_only(self, tiny_index, traversal):
+        assert (
+            traversal(tiny_index, ParsedQuery(terms=("zzzz", "qqqq"), k=10))
+            == []
+        )
+
+    def test_missing_term_ignored(self, tiny_index, traversal):
+        with_missing = traversal(
+            tiny_index, ParsedQuery(terms=("cat", "zzzz"), k=10)
+        )
+        without = score_daat(tiny_index, ParsedQuery(terms=("cat",), k=10))
+        assert [(h.doc_id, h.score) for h in with_missing] == [
+            (h.doc_id, h.score) for h in without
+        ]
+
+    def test_duplicate_query_terms(self, tiny_index, traversal):
+        query = ParsedQuery(terms=("cat", "cat", "dog"), k=10)
+        daat = score_daat(tiny_index, query)
+        pruned = traversal(tiny_index, query)
+        assert [(h.doc_id, round(h.score, 9)) for h in pruned] == [
+            (h.doc_id, round(h.score, 9)) for h in daat
+        ]
+
+    def test_k_larger_than_match_count(self, tiny_index, traversal):
+        query = ParsedQuery(terms=("fish",), k=500)
+        daat = score_daat(tiny_index, query)
+        pruned = traversal(tiny_index, query)
+        assert len(pruned) == 3
+        assert [(h.doc_id, round(h.score, 9)) for h in pruned] == [
+            (h.doc_id, round(h.score, 9)) for h in daat
+        ]
+
+    def test_k_one(self, tiny_index, traversal):
+        query = ParsedQuery(terms=("cat", "dog", "fish"), k=1)
+        daat = score_daat(tiny_index, query)
+        pruned = traversal(tiny_index, query)
+        assert [(h.doc_id, round(h.score, 9)) for h in pruned] == [
+            (h.doc_id, round(h.score, 9)) for h in daat
+        ]
+
+    def test_rejects_and_mode(self, tiny_index, traversal):
+        query = ParsedQuery(terms=("cat",), mode=QueryMode.AND, k=5)
+        with pytest.raises(ValueError):
+            traversal(tiny_index, query)
+
+    def test_single_document_corpus(self, traversal):
+        index = build_index(["lonely document text"], block_size=2)
+        query = ParsedQuery(terms=("lonely", "text"), k=5)
+        daat = score_daat(index, query)
+        pruned = traversal(index, query)
+        assert [(h.doc_id, h.score) for h in pruned] == [
+            (h.doc_id, h.score) for h in daat
+        ]
+
+
+class TestExhaustedCursor:
+    @staticmethod
+    def _postings():
+        import numpy as np
+        from types import SimpleNamespace
+
+        return SimpleNamespace(
+            doc_ids=np.array([0], dtype=np.int64),
+            frequencies=np.array([1], dtype=np.int64),
+        )
+
+    def test_wand_cursor_current_raises_when_exhausted(self):
+        from repro.search.wand import _WandCursor
+
+        cursor = _WandCursor(self._postings(), idf=1.0, max_score=1.0)
+        cursor.position = 1
+        assert cursor.exhausted
+        with pytest.raises(IndexError):
+            cursor.current
+
+    def test_bmw_cursor_current_raises_when_exhausted(self):
+        import numpy as np
+
+        from repro.index.blockmax import BlockMetadata
+        from repro.search.block_max_wand import _BlockMaxCursor
+
+        postings = self._postings()
+        blocks = BlockMetadata.from_postings(
+            postings, np.array([3], dtype=np.int64), block_size=2
+        )
+        cursor = _BlockMaxCursor(
+            postings,
+            idf=1.0,
+            max_score=1.0,
+            blocks=blocks,
+            block_bounds=np.array([1.0]),
+        )
+        cursor.position = 1
+        assert cursor.exhausted
+        with pytest.raises(IndexError):
+            cursor.current
