@@ -1,0 +1,299 @@
+"""F26 — Tiered larger-than-RAM index: paging cost under a block cache.
+
+The paper's engine keeps the whole inverted index RAM-resident; this
+figure quantifies what serving the same Zipf workload costs when the
+postings live in a block store and only an admission-controlled cache's
+worth of blocks is resident.  Cells:
+
+- **resident** — the baseline fully-RAM index.
+- **tiered 10%** — block store behind a TinyLFU-admitted cache whose
+  byte budget is 10% of the pageable index bytes.
+- **tiered 10% (no admission)** — same budget, plain LRU: shows what
+  the admission filter buys against scan-like cold queries.
+- **tiered cold** — zero cache budget; every block touch re-fetches
+  (the correctness-under-thrash bound, not a serving configuration).
+
+Tiering is an I/O change, not a scoring change: every cell must return
+bit-identical top-k results (ids AND scores) to the resident index.
+The Zipf query log re-touches hot blocks, so the cached cells read far
+fewer bytes than the index holds — the working-set effect the block
+cache exists to exploit.
+
+Acceptance contract (mirrors ISSUE criteria):
+
+- every tiered cell's per-query hits are bit-identical to resident;
+- with the 10% budget, serving p99 latency stays <= 2x resident p99;
+- with the 10% budget, ``store.bytes_read`` over the whole log stays
+  well below the total index bytes (< 60% cold-start included, < 35%
+  on the second, warm pass);
+- the sweep is deterministic: rebuilding a cell reproduces identical
+  hits and fetch counters.
+
+Run standalone (CI smoke):
+``python benchmarks/bench_fig26_tiered_index.py --quick``
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.api import format_table
+from repro.corpus.generator import CorpusConfig, CorpusGenerator
+from repro.corpus.querylog import QueryLogConfig, QueryLogGenerator
+from repro.corpus.vocabulary import VocabularyConfig
+from repro.index.builder import IndexBuilder
+from repro.index.store import tier_index
+from repro.search.executor import Searcher
+
+CORPUS = CorpusConfig(
+    num_documents=4_000,
+    vocabulary=VocabularyConfig(size=15_000, exponent=1.0, seed=7),
+    mean_length=120,
+    length_sigma=0.7,
+    seed=42,
+)
+# A skewed popularity model (web logs measure ~0.85; 1.1 concentrates
+# the stream harder) keeps the hot working set well inside the cache —
+# the regime a tiered index is provisioned for.
+QUERY_LOG = QueryLogConfig(
+    num_unique_queries=50, popularity_exponent=1.1, seed=9
+)
+BLOCK_SIZE = 64
+STREAM_SEED = 17
+NUM_QUERIES = 600
+QUICK_QUERIES = 200
+CACHE_FRACTION = 0.10
+
+#: Acceptance ceilings.
+MAX_P99_RATIO = 2.0
+MAX_COLD_READ_FRACTION = 0.60
+MAX_WARM_READ_FRACTION = 0.35
+
+
+def _build_instance():
+    """Corpus, resident index, and the Zipf-sampled query stream."""
+    generator = CorpusGenerator(CORPUS)
+    collection = generator.generate()
+    index = IndexBuilder(block_size=BLOCK_SIZE).build(collection)
+    query_log = QueryLogGenerator(generator.vocabulary, QUERY_LOG).generate()
+    stream = query_log.sample_stream(
+        NUM_QUERIES, np.random.default_rng(STREAM_SEED)
+    )
+    return index, [query.text for query in stream]
+
+
+def _budget(index) -> int:
+    """The 10%-of-pageable-bytes cache budget for ``index``."""
+    probe = tier_index(index, cache_budget_bytes=0)
+    return int(probe.total_block_bytes * CACHE_FRACTION)
+
+
+def _serve(searcher, texts):
+    """Serve the stream; return per-query hits and latencies."""
+    hits = []
+    latencies = []
+    for text in texts:
+        start = time.perf_counter()
+        result = searcher.search(text)
+        latencies.append(time.perf_counter() - start)
+        hits.append(tuple((h.doc_id, h.score) for h in result.hits))
+    return hits, np.array(latencies)
+
+
+def _run_cell(index, texts, label, budget=None, admission=True):
+    """One cell: build the (tiered) searcher, serve the log twice.
+
+    The first pass is the cold start (cache fills); the second pass is
+    the steady state a long-running server sees.  Fetch counters are
+    split per pass via snapshot deltas.
+    """
+    if budget is None:
+        serving_index = index
+        total_block_bytes = 0
+    else:
+        serving_index = tier_index(
+            index, cache_budget_bytes=budget, admission=admission
+        )
+        total_block_bytes = serving_index.total_block_bytes
+    searcher = Searcher(serving_index, algorithm="block_max_wand")
+    cold_hits, cold_latencies = _serve(searcher, texts)
+    cold = (
+        serving_index.store_stats() if budget is not None else None
+    )
+    warm_hits, warm_latencies = _serve(searcher, texts)
+    warm = (
+        serving_index.store_stats().delta(cold)
+        if budget is not None
+        else None
+    )
+    return {
+        "label": label,
+        "hits": cold_hits,
+        "warm_hits": warm_hits,
+        "p50_ms": float(np.percentile(warm_latencies, 50)) * 1e3,
+        "p99_ms": float(np.percentile(warm_latencies, 99)) * 1e3,
+        "cold_p99_ms": float(np.percentile(cold_latencies, 99)) * 1e3,
+        "total_block_bytes": total_block_bytes,
+        "cold_blocks_fetched": cold.blocks_fetched if cold else 0,
+        "cold_bytes_read": cold.bytes_read if cold else 0,
+        "warm_blocks_fetched": warm.blocks_fetched if warm else 0,
+        "warm_bytes_read": warm.bytes_read if warm else 0,
+        "admission_rejects": (
+            serving_index.store_stats().admission_rejects if budget is not None else 0
+        ),
+    }
+
+
+def _sweep(texts, instance):
+    index, _ = instance
+    budget = _budget(index)
+    return [
+        _run_cell(index, texts, "resident"),
+        _run_cell(index, texts, "tiered 10%", budget=budget),
+        _run_cell(
+            index, texts, "tiered 10% no-adm", budget=budget, admission=False
+        ),
+        _run_cell(index, texts, "tiered cold", budget=0),
+    ]
+
+
+def _format(rows, num_queries):
+    total = max(row["total_block_bytes"] for row in rows)
+    return format_table(
+        [
+            "cell",
+            "p50_ms",
+            "p99_ms",
+            "cold_bytes_read",
+            "warm_bytes_read",
+            "read_frac_warm",
+            "adm_rejects",
+        ],
+        [
+            [
+                row["label"],
+                round(row["p50_ms"], 3),
+                round(row["p99_ms"], 3),
+                row["cold_bytes_read"],
+                row["warm_bytes_read"],
+                (
+                    round(row["warm_bytes_read"] / total, 4)
+                    if row["total_block_bytes"]
+                    else 0.0
+                ),
+                row["admission_rejects"],
+            ]
+            for row in rows
+        ],
+        title=(
+            f"F26: tiered index paging cost "
+            f"({CORPUS.num_documents} docs, {num_queries} Zipf queries, "
+            f"block size {BLOCK_SIZE}, cache {CACHE_FRACTION:.0%} of "
+            f"{total} block bytes)"
+        ),
+    )
+
+
+def _check(rows) -> None:
+    """The acceptance assertions, shared by pytest and --quick modes."""
+    by_label = {row["label"]: row for row in rows}
+    resident = by_label["resident"]
+    for label, row in by_label.items():
+        if label == "resident":
+            continue
+        assert row["hits"] == resident["hits"], (
+            f"{label} cold-pass results must be bit-identical to resident"
+        )
+        assert row["warm_hits"] == resident["hits"], (
+            f"{label} warm-pass results must be bit-identical to resident"
+        )
+
+    cached = by_label["tiered 10%"]
+    ratio = cached["p99_ms"] / resident["p99_ms"]
+    assert ratio <= MAX_P99_RATIO, (
+        f"tiered p99 must stay <= {MAX_P99_RATIO}x resident p99: "
+        f"{cached['p99_ms']:.3f} ms vs {resident['p99_ms']:.3f} ms "
+        f"({ratio:.2f}x)"
+    )
+
+    total = cached["total_block_bytes"]
+    cold_fraction = cached["cold_bytes_read"] / total
+    warm_fraction = cached["warm_bytes_read"] / total
+    assert cold_fraction <= MAX_COLD_READ_FRACTION, (
+        f"cold pass must read <= {MAX_COLD_READ_FRACTION:.0%} of the "
+        f"index, read {cold_fraction:.1%}"
+    )
+    assert warm_fraction <= MAX_WARM_READ_FRACTION, (
+        f"warm pass must read <= {MAX_WARM_READ_FRACTION:.0%} of the "
+        f"index, read {warm_fraction:.1%}"
+    )
+
+    # The warm cache converts misses to hits: steady state fetches far
+    # fewer blocks than the cold start, while the zero-budget cell never
+    # stops fetching.
+    assert cached["warm_blocks_fetched"] < cached["cold_blocks_fetched"]
+    cold_cell = by_label["tiered cold"]
+    assert cold_cell["warm_blocks_fetched"] >= cold_cell["cold_blocks_fetched"]
+
+
+def _check_deterministic(instance, texts) -> None:
+    """Same cell rebuilt twice → identical hits and fetch counters."""
+    index, _ = instance
+    budget = _budget(index)
+    cells = [
+        _run_cell(index, texts, "tiered 10%", budget=budget)
+        for _ in range(2)
+    ]
+    comparable = [
+        {
+            key: value
+            for key, value in cell.items()
+            if "ms" not in key  # wall-clock timings legitimately vary
+        }
+        for cell in cells
+    ]
+    assert comparable[0] == comparable[1], (
+        "tiered serving must be deterministic: identical hits and counters"
+    )
+
+
+def test_fig26_tiered_index(benchmark, emit):
+    instance = _build_instance()
+    texts = instance[1][:NUM_QUERIES]
+    rows = benchmark.pedantic(
+        lambda: _sweep(texts, instance), rounds=1, iterations=1
+    )
+    emit("fig26_tiered_index", _format(rows, len(texts)))
+    _check(rows)
+
+
+def test_fig26_deterministic():
+    instance = _build_instance()
+    _check_deterministic(instance, instance[1][:QUICK_QUERIES])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"CI smoke mode: {QUICK_QUERIES} queries instead of {NUM_QUERIES}",
+    )
+    args = parser.parse_args(argv)
+    num_queries = QUICK_QUERIES if args.quick else NUM_QUERIES
+    instance = _build_instance()
+    texts = instance[1][:num_queries]
+    rows = _sweep(texts, instance)
+    print(_format(rows, num_queries))
+    _check(rows)
+    _check_deterministic(instance, texts)
+    print("fig26 acceptance checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,7 +44,7 @@ from repro.cluster.fanout import (
     FanoutResult,
     run_fanout_open_loop,
 )
-from repro.cluster.server import PartitionModelConfig
+from repro.cluster.server import PartitionModelConfig, StorageModelConfig
 from repro.core.reporting import format_series, format_table
 from repro.corpus.generator import CorpusConfig
 from repro.corpus.querylog import QueryLog, QueryLogConfig
@@ -62,6 +62,7 @@ from repro.engine.service import (
     SearchServiceConfig,
 )
 from repro.index.partitioner import PartitionStrategy
+from repro.index.store import TieredStorageConfig
 from repro.resilience.admission import (
     AimdConfig,
     OverloadPolicy,
@@ -128,6 +129,8 @@ __all__ = [
     "QueryLog",
     "PartitionStrategy",
     "PartitionModelConfig",
+    "StorageModelConfig",
+    "TieredStorageConfig",
     "TraversalStrategy",
     "WorkloadScenario",
     "ArrivalProcess",
@@ -196,6 +199,7 @@ class EngineConfig:
     overload: Optional[OverloadPolicy] = None
     breakers: Optional[BreakerConfig] = None
     faults: Optional[FaultPlan] = None
+    tiered: Optional[TieredStorageConfig] = None
 
     def to_service_config(self) -> SearchServiceConfig:
         """The internal config this maps onto."""
@@ -211,6 +215,7 @@ class EngineConfig:
             overload=self.overload,
             breakers=self.breakers,
             faults=self.faults,
+            tiered=self.tiered,
         )
 
 

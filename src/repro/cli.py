@@ -59,6 +59,14 @@ def _engine_config(
     traversal = TraversalStrategy.coerce(
         getattr(args, "traversal", "exhaustive")
     )
+    tiered = None
+    tiered_cache_kib = getattr(args, "tiered_cache_kib", None)
+    if tiered_cache_kib is not None:
+        from repro.api import TieredStorageConfig
+
+        tiered = TieredStorageConfig(
+            cache_budget_bytes=int(tiered_cache_kib * 1024)
+        )
     return EngineConfig(
         corpus=CorpusConfig(
             num_documents=args.docs,
@@ -73,6 +81,7 @@ def _engine_config(
         num_partitions=num_partitions,
         algorithm=traversal,
         hedging=hedging,
+        tiered=tiered,
     )
 
 
@@ -499,6 +508,12 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--deadline-ms", type=float, default=None,
         help="per-shard deadline budget in milliseconds (partial results)",
+    )
+    trace.add_argument(
+        "--tiered-cache-kib", type=float, default=None,
+        help="serve the index from tiered block storage with this "
+        "block-cache budget (KiB, split across shards); the span tree "
+        "then carries blocks_fetched/bytes_read per shard",
     )
     trace.add_argument("--jsonl", default=None,
                        help="also export the trace as JSON-lines")

@@ -814,6 +814,10 @@ class IndexServingNode:
                 attributes["docs_scored"] = result.docs_scored
             if result.blocks_skipped is not None:
                 attributes["blocks_skipped"] = result.blocks_skipped
+            if result.blocks_fetched is not None:
+                attributes["blocks_fetched"] = result.blocks_fetched
+            if result.bytes_read is not None:
+                attributes["bytes_read"] = result.bytes_read
             if self._resilient_fanout:
                 attributes["attempt"] = kind
                 attributes["hedged"] = kind == "hedge"

@@ -24,6 +24,7 @@ from repro.index.partitioner import (
     partition_index,
 )
 from repro.index.positional import PositionalIndex, PositionalIndexBuilder
+from repro.index.store import TieredStorageConfig, tier_partitioned_index
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.search.phrase import parse_phrase, score_phrase
@@ -74,7 +75,15 @@ class SearchPage(List[ResultPageEntry]):
 
 @dataclass(frozen=True)
 class SearchServiceConfig:
-    """Configuration of a complete search service instance."""
+    """Configuration of a complete search service instance.
+
+    ``tiered``, when set, re-homes every shard's postings onto the
+    tiered block store after partitioning: block-at-a-time fetches
+    through an admission-controlled cache (budget split evenly across
+    shards), optionally behind a modeled slow/faulty object store.
+    Results are bit-identical to resident serving; only the I/O
+    schedule (and its latency/fault exposure) changes.
+    """
 
     corpus: CorpusConfig = field(default_factory=CorpusConfig)
     query_log: QueryLogConfig = field(default_factory=QueryLogConfig)
@@ -87,6 +96,7 @@ class SearchServiceConfig:
     overload: Optional[OverloadPolicy] = None
     breakers: Optional[BreakerConfig] = None
     faults: Optional[FaultPlan] = None
+    tiered: Optional[TieredStorageConfig] = None
 
     def __post_init__(self) -> None:
         if self.num_partitions <= 0:
@@ -121,6 +131,10 @@ class SearchService:
             analyzer=self.analyzer,
             strategy=config.partition_strategy,
         )
+        if config.tiered is not None:
+            self.partitioned = tier_partitioned_index(
+                self.partitioned, config.tiered, metrics=metrics
+            )
         self.isn = IndexServingNode(
             self.partitioned,
             num_threads=config.num_threads,

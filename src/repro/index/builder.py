@@ -12,6 +12,7 @@ from repro.index.blockmax import DEFAULT_BLOCK_SIZE, BlockMetadata
 from repro.index.dictionary import TermDictionary
 from repro.index.inverted import InvertedIndex
 from repro.index.postings import PostingsList
+from repro.index.stats import IndexStatistics, compute_statistics
 from repro.text.analyzer import Analyzer, default_analyzer
 
 
@@ -77,3 +78,17 @@ class IndexBuilder:
             block_metadata=block_metadata,
             block_size=self.block_size,
         )
+
+    def build_with_stats(
+        self, collection: DocumentCollection
+    ) -> Tuple[InvertedIndex, IndexStatistics]:
+        """Build the index and its size accounting in one call.
+
+        Returns ``(index, stats)`` where ``stats.compressed_sections``
+        holds the per-section serialized byte sizes (header,
+        doc-length table, dictionary, postings, block metadata) whose
+        sum equals the exact v3 segment length — per-shard storage cost
+        alongside the usual characterization numbers.
+        """
+        index = self.build(collection)
+        return index, compute_statistics(index, include_sections=True)

@@ -159,6 +159,165 @@ class _BlockMaxCursor:
         return float(cached[self.position - block * block_size])
 
 
+class _PagedBlockMaxCursor:
+    """A block-max cursor over tiered (paged) postings.
+
+    Same interface and same traversal arithmetic as
+    :class:`_BlockMaxCursor`, but the postings live behind a
+    :class:`~repro.index.store.TieredPostings` view and are paged in
+    block-at-a-time.  The trick that makes paging cheap is **lazy
+    seeking**: ``seek`` only records the target; resolution happens on
+    the next ``current``/``exhausted`` read, *shallowly* when possible.
+    The resident per-block first/last doc ids locate the only block
+    that can hold the target, and when the target lands on or before a
+    block's first posting the current doc id is known from metadata
+    alone — a cursor that is merely being skipped over never fetches.
+    Only a mid-block landing or an actual scoring descent pages the
+    block in, so the traversal fetches exactly the blocks it descends
+    into.
+
+    Because the resolved (block, offset) sequence — and the per-block
+    score arrays — are identical to the resident cursor's, results stay
+    bit-identical; only the I/O schedule changes.
+    """
+
+    __slots__ = (
+        "tiered",
+        "idf",
+        "max_score",
+        "blocks",
+        "block_bounds",
+        "block_index",
+        "_target",
+        "_block",
+        "_doc_ids",
+        "_frequencies",
+        "_offset",
+        "_resolved",
+        "_block_scores",
+    )
+
+    def __init__(
+        self,
+        tiered_postings,
+        idf: float,
+        max_score: float,
+        blocks: BlockMetadata,
+        block_bounds: np.ndarray,
+    ):
+        self.tiered = tiered_postings
+        self.idf = idf
+        self.max_score = max_score
+        self.blocks = blocks
+        self.block_bounds = block_bounds
+        self.block_index = 0
+        self._target = 0  # pending lazy-seek target (monotone)
+        self._block = 0  # block holding the current posting, once resolved
+        self._doc_ids: Optional[np.ndarray] = None
+        self._frequencies: Optional[np.ndarray] = None
+        self._offset = 0
+        self._resolved = False
+        self._block_scores: Dict[int, np.ndarray] = {}
+
+    def _load(self) -> None:
+        """Page the resolved block in (through the index's block cache)."""
+        if self._doc_ids is None:
+            self._doc_ids, self._frequencies = self.tiered.block(self._block)
+
+    def _resolve(self) -> None:
+        """Locate the first posting with doc id >= the pending target."""
+        if self._resolved:
+            return
+        last_doc_ids = self.blocks.last_doc_ids
+        block = int(
+            np.searchsorted(last_doc_ids[self._block :], self._target)
+            + self._block
+        )
+        if block >= self.blocks.num_blocks:
+            self._block = block
+            self._doc_ids = None
+            self._frequencies = None
+            self._resolved = True
+            return
+        if block != self._block:
+            self._block = block
+            self._doc_ids = None
+            self._frequencies = None
+            self._offset = 0
+        first = int(self.tiered.info.first_doc_ids[block])
+        if first >= self._target and self._doc_ids is None:
+            # The target precedes the block: its first posting is the
+            # answer, and the resident metadata already knows its id.
+            self._offset = 0
+        else:
+            # Mid-block landing (or block already resident): binary
+            # search within the decoded block, forward-only.
+            self._load()
+            self._offset = int(
+                np.searchsorted(self._doc_ids[self._offset :], self._target)
+                + self._offset
+            )
+        self._resolved = True
+
+    @property
+    def exhausted(self) -> bool:
+        self._resolve()
+        return self._block >= self.blocks.num_blocks
+
+    @property
+    def current(self) -> int:
+        self._resolve()
+        if self._block >= self.blocks.num_blocks:
+            raise IndexError("cursor is exhausted; check .exhausted first")
+        if self._doc_ids is not None:
+            return int(self._doc_ids[self._offset])
+        return int(self.tiered.info.first_doc_ids[self._block])
+
+    def seek(self, target: int) -> None:
+        """Record a (deep) seek; resolution is deferred until needed."""
+        if target > self._target:
+            self._target = target
+            self._resolved = False
+
+    def shallow_seek(self, target: int) -> Optional[int]:
+        """Advance the block pointer shallowly (metadata only).
+
+        Identical to :meth:`_BlockMaxCursor.shallow_seek` — the summary
+        arrays are resident on a tiered index, so this never fetches.
+        """
+        last_doc_ids = self.blocks.last_doc_ids
+        block = int(
+            np.searchsorted(last_doc_ids[self.block_index :], target)
+            + self.block_index
+        )
+        self.block_index = block
+        if block >= self.blocks.num_blocks:
+            return None
+        return block
+
+    def score_current(self, scorer, doc_lengths: np.ndarray) -> float:
+        """Score the posting under the cursor (pages its block in)."""
+        self._resolve()
+        self._load()
+        cached = self._block_scores.get(self._block)
+        if cached is None:
+            frequencies = self._frequencies
+            lengths = doc_lengths[self._doc_ids]
+            score_block = getattr(scorer, "score_block", None)
+            if score_block is not None:
+                cached = score_block(frequencies, lengths, self.idf)
+            else:
+                cached = np.array(
+                    [
+                        scorer.score(int(frequency), int(length), self.idf)
+                        for frequency, length in zip(frequencies, lengths)
+                    ],
+                    dtype=np.float64,
+                )
+            self._block_scores[self._block] = cached
+        return float(cached[self._offset])
+
+
 def score_block_max_wand(
     index: InvertedIndex,
     query: ParsedQuery,
@@ -185,23 +344,41 @@ def score_block_max_wand(
             average_doc_length=index.average_doc_length,
         )
 
+    # A tiered index pages postings block-at-a-time: use the paged
+    # cursor so this traversal fetches only the blocks it descends
+    # into.  Resident indexes keep the direct-array cursor.
+    paged = hasattr(index, "tiered_postings_for_id")
     cursors: List[_BlockMaxCursor] = []
     for term in query.terms:
         info = index.term_info(term)
         if info is None:
             continue
+        idf = resolve_idf(scorer, term, info.document_frequency)
+        blocks = index.block_metadata_for_id(info.term_id)
+        if blocks.num_blocks == 0:
+            continue
+        bounds = blocks.max_scores(scorer, idf)
+        if paged:
+            cursors.append(
+                _PagedBlockMaxCursor(
+                    index.tiered_postings_for_id(info.term_id),
+                    idf,
+                    scorer.max_score(idf),
+                    blocks,
+                    bounds,
+                )
+            )
+            continue
         postings = index.postings_for_id(info.term_id)
         if len(postings) == 0:
             continue
-        idf = resolve_idf(scorer, term, info.document_frequency)
-        blocks = index.block_metadata_for_id(info.term_id)
         cursors.append(
             _BlockMaxCursor(
                 postings,
                 idf,
                 scorer.max_score(idf),
                 blocks,
-                blocks.max_scores(scorer, idf),
+                bounds,
             )
         )
     if not cursors:

@@ -72,6 +72,12 @@ class SearchResult:
     blocks_skipped:
         Block-level skips taken by block-max traversal; None for
         algorithms without block metadata.
+    blocks_fetched / bytes_read:
+        Postings blocks paged in from the block store while evaluating
+        this query, and their encoded bytes; None on a fully-resident
+        index.  Measured as a cache-counter delta around the
+        traversal, so concurrent queries on the same shard may shift
+        fetches between each other's counts (totals stay exact).
     """
 
     hits: Tuple[SearchHit, ...]
@@ -79,6 +85,8 @@ class SearchResult:
     matched_volume: int
     docs_scored: Optional[int] = None
     blocks_skipped: Optional[int] = None
+    blocks_fetched: Optional[int] = None
+    bytes_read: Optional[int] = None
 
     def doc_ids(self) -> List[int]:
         """Doc ids of the hits, best first."""
@@ -157,6 +165,8 @@ class Searcher:
             query = self.parse(query, mode=mode, k=k)
         scorer = self._make_scorer()
         stats = TraversalStats()
+        store_stats = getattr(self.index, "store_stats", None)
+        store_before = store_stats() if store_stats is not None else None
         if self.algorithm == "taat":
             hits = score_taat(self.index, query, scorer)
             docs_scored: Optional[int] = None
@@ -180,6 +190,12 @@ class Searcher:
             docs_scored = stats.docs_scored
             blocks_skipped = None
         matched_volume = self.index.matched_postings_volume(list(query.terms))
+        blocks_fetched: Optional[int] = None
+        bytes_read: Optional[int] = None
+        if store_before is not None:
+            paging = store_stats().delta(store_before)
+            blocks_fetched = paging.blocks_fetched
+            bytes_read = paging.bytes_read
         if self.metrics is not None:
             self.metrics.counter("search.queries").add()
             self.metrics.counter("search.postings_scanned").add(matched_volume)
@@ -189,6 +205,8 @@ class Searcher:
             matched_volume=matched_volume,
             docs_scored=docs_scored,
             blocks_skipped=blocks_skipped,
+            blocks_fetched=blocks_fetched,
+            bytes_read=bytes_read,
         )
 
     def _make_scorer(self) -> Scorer:
@@ -245,4 +263,6 @@ class ShardSearcher:
             matched_volume=local.matched_volume,
             docs_scored=local.docs_scored,
             blocks_skipped=local.blocks_skipped,
+            blocks_fetched=local.blocks_fetched,
+            bytes_read=local.bytes_read,
         )

@@ -4,7 +4,14 @@ import pytest
 
 from repro.corpus.documents import Document, DocumentCollection
 from repro.index.builder import IndexBuilder
-from repro.index.stats import compute_statistics
+from repro.index.partitioner import partition_index
+from repro.index.serialization import serialize_index
+from repro.index.stats import (
+    SECTION_NAMES,
+    compressed_section_sizes,
+    compute_statistics,
+    shard_compressed_sizes,
+)
 from repro.text.analyzer import Analyzer, AnalyzerConfig
 
 
@@ -59,3 +66,60 @@ class TestIndexStatistics:
         assert "documents" in rows
         assert "p99 posting length" in rows
         assert rows["documents"] == small_index.num_documents
+
+
+class TestCompressedSections:
+    def test_sections_sum_to_exact_segment_length(self, small_index):
+        """The accounting mirrors the serializer byte for byte — the
+        regression that keeps the two from drifting apart."""
+        sections = compressed_section_sizes(small_index)
+        assert set(sections) == set(SECTION_NAMES)
+        assert sum(sections.values()) == len(
+            serialize_index(small_index, version=3)
+        )
+
+    def test_sections_sum_holds_on_tiny_and_empty_indexes(self):
+        for texts in ([], ["aa"], ["aa bb", "aa", "cc cc cc"]):
+            index = build_index(texts)
+            sections = compressed_section_sizes(index)
+            assert sum(sections.values()) == len(
+                serialize_index(index, version=3)
+            )
+
+    def test_postings_dominate_on_real_corpus(self, small_index):
+        sections = compressed_section_sizes(small_index)
+        assert sections["postings"] == max(sections.values())
+        assert all(size > 0 for size in sections.values())
+
+    def test_compute_statistics_surfaces_sections(self, small_index):
+        stats = compute_statistics(small_index, include_sections=True)
+        assert stats.compressed_sections == compressed_section_sizes(
+            small_index
+        )
+        rows = stats.as_rows()
+        assert rows["compressed segment total (bytes)"] == sum(
+            stats.compressed_sections.values()
+        )
+        assert rows["compressed postings (bytes)"] > 0
+
+    def test_sections_off_by_default(self, small_index):
+        stats = compute_statistics(small_index)
+        assert stats.compressed_sections is None
+        assert "compressed postings (bytes)" not in stats.as_rows()
+
+    def test_build_with_stats(self, small_collection):
+        index, stats = IndexBuilder().build_with_stats(small_collection)
+        assert index.num_documents == len(small_collection)
+        assert stats.compressed_sections is not None
+        assert sum(stats.compressed_sections.values()) == len(
+            serialize_index(index, version=3)
+        )
+
+    def test_per_shard_sizes(self, small_collection):
+        partitioned = partition_index(small_collection, 3)
+        per_shard = shard_compressed_sizes(partitioned)
+        assert len(per_shard) == 3
+        for shard, sections in zip(partitioned, per_shard):
+            assert sum(sections.values()) == len(
+                serialize_index(shard.index, version=3)
+            )

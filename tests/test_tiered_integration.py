@@ -1,0 +1,344 @@
+"""Integration tests: tiered storage through the full serving path.
+
+Bit-identity at the engine level (tiered service == resident service),
+fault injection surfacing as shard failures (coverage degrades, the
+breakers trip — never wrong results), composition with the chaos
+harness's fault plans, paging observability (per-query counters, span
+attributes, ``store.*`` metrics), and the DES cost-model mirror.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import (
+    BreakerConfig,
+    MetricsRegistry,
+    TieredStorageConfig,
+)
+from repro.cluster.results import QueryRecord
+from repro.cluster.server import (
+    PartitionModelConfig,
+    SimulatedServer,
+    StorageModelConfig,
+)
+from repro.corpus.generator import CorpusConfig
+from repro.corpus.querylog import QueryLogConfig
+from repro.corpus.vocabulary import VocabularyConfig
+from repro.engine.service import SearchService, SearchServiceConfig
+from repro.index.store import tier_index
+from repro.obs.tracing import Tracer
+from repro.search.executor import Searcher
+from repro.servers.spec import ServerSpec
+from repro.sim.engine import Simulator
+
+TINY_CORPUS = CorpusConfig(
+    num_documents=120,
+    vocabulary=VocabularyConfig(size=900),
+    mean_length=40,
+    seed=11,
+)
+TINY_LOG = QueryLogConfig(num_unique_queries=30, seed=5)
+
+
+def _service(tiered=None, metrics=None, tracer=None, **overrides):
+    config = SearchServiceConfig(
+        corpus=TINY_CORPUS,
+        query_log=TINY_LOG,
+        num_partitions=2,
+        tiered=tiered,
+        **overrides,
+    )
+    return SearchService(config, metrics=metrics, tracer=tracer)
+
+
+class TestEngineBitIdentity:
+    @pytest.mark.parametrize("algorithm", ["daat", "block_max_wand"])
+    def test_tiered_service_matches_resident(self, algorithm):
+        tiered_config = TieredStorageConfig(cache_budget_bytes=64 << 10)
+        with _service(algorithm=algorithm) as resident, _service(
+            tiered=tiered_config, algorithm=algorithm
+        ) as tiered:
+            for query in list(resident.query_log)[:15]:
+                expected = resident.search(query.text)
+                actual = tiered.search(query.text)
+                assert expected.doc_ids() == actual.doc_ids(), query.text
+                for left, right in zip(expected.hits, actual.hits):
+                    assert left.score == right.score, query.text
+
+    def test_zero_budget_still_identical(self):
+        tiered_config = TieredStorageConfig(cache_budget_bytes=0)
+        with _service() as resident, _service(
+            tiered=tiered_config
+        ) as tiered:
+            for query in list(resident.query_log)[:5]:
+                assert resident.search(query.text).doc_ids() == tiered.search(
+                    query.text
+                ).doc_ids()
+
+    def test_store_counters_populated(self):
+        metrics = MetricsRegistry()
+        tiered_config = TieredStorageConfig(cache_budget_bytes=64 << 10)
+        with _service(tiered=tiered_config, metrics=metrics) as service:
+            queries = [query.text for query in list(service.query_log)[:10]]
+            for text in queries:
+                service.search(text)
+            fetched_cold = metrics.counter("store.blocks_fetched").value
+            assert fetched_cold > 0
+            assert metrics.counter("store.bytes_read").value > 0
+            # A second pass over the same queries hits the warm cache:
+            # no new fetches, only cache hits.
+            for text in queries:
+                service.search(text)
+            assert (
+                metrics.counter("store.blocks_fetched").value == fetched_cold
+            )
+            assert metrics.counter("cache.block_hits").value > 0
+
+
+class TestFaultSurface:
+    def test_timeouts_degrade_coverage_and_trip_breakers(self):
+        """A store that always times out turns into shard failures:
+        partial coverage, tripped breakers — exactly the path a crashed
+        shard takes, with zero wrong results."""
+        tiered_config = TieredStorageConfig(
+            cache_budget_bytes=64 << 10, timeout_rate=1.0, seed=3
+        )
+        with _service(
+            tiered=tiered_config,
+            breakers=BreakerConfig(failure_threshold=2, recovery_time_s=60.0),
+        ) as service:
+            responses = [
+                service.search(query.text)
+                for query in list(service.query_log)[:8]
+            ]
+            assert all(response.coverage < 1.0 for response in responses)
+            board = service.isn.breaker_board
+            trips = sum(
+                board.breaker(shard).trips
+                for shard in range(service.partitioned.num_partitions)
+            )
+            assert trips >= 1
+
+    def test_partial_timeouts_never_return_wrong_results(self):
+        """With a lossy (not dead) store, every answered shard's hits
+        are exact — failures subtract coverage, they never corrupt."""
+        lossy = TieredStorageConfig(
+            cache_budget_bytes=0, timeout_rate=0.2, seed=17
+        )
+        with _service() as resident, _service(
+            tiered=lossy,
+            breakers=BreakerConfig(failure_threshold=50, recovery_time_s=0.01),
+        ) as tiered:
+            for query in list(resident.query_log)[:10]:
+                expected = resident.search(query.text)
+                actual = tiered.search(query.text)
+                if actual.coverage >= 1.0:
+                    assert actual.doc_ids() == expected.doc_ids()
+                else:
+                    # Partial answers are a subset of the full ranking's
+                    # candidate set, re-ranked — still only true hits.
+                    assert set(actual.doc_ids()) <= set(
+                        doc_id
+                        for shard in tiered.partitioned
+                        for doc_id in shard.global_doc_ids
+                    )
+
+    @pytest.mark.parametrize(
+        "plan_fixture", ["crashed_shard_plan", "flapping_plan"]
+    )
+    def test_composes_with_chaos_fault_plans(self, request, plan_fixture):
+        """The chaos harness's injected crashes and the tiered store
+        coexist: a fault plan degrades coverage the same way it does on
+        a resident service, and the surviving shard still pages."""
+        plan = request.getfixturevalue(plan_fixture)
+        metrics = MetricsRegistry()
+        tiered_config = TieredStorageConfig(cache_budget_bytes=64 << 10)
+        with _service(
+            tiered=tiered_config,
+            metrics=metrics,
+            breakers=BreakerConfig(failure_threshold=2, recovery_time_s=30.0),
+            faults=plan,
+        ) as service:
+            responses = [
+                service.search(query.text)
+                for query in list(service.query_log)[:6]
+            ]
+        assert any(response.coverage < 1.0 for response in responses)
+        assert metrics.counter("store.blocks_fetched").value > 0
+
+
+class TestPagingObservability:
+    def test_search_result_reports_paging(self, small_index):
+        tiered = tier_index(small_index, cache_budget_bytes=64 << 10)
+        searcher = Searcher(tiered, algorithm="block_max_wand")
+        result = searcher.search("the of and")
+        assert result.blocks_fetched is not None
+        assert result.bytes_read is not None
+        assert result.blocks_fetched >= 0
+
+    def test_resident_index_reports_none(self, small_index):
+        result = Searcher(small_index).search("the of and")
+        assert result.blocks_fetched is None
+        assert result.bytes_read is None
+
+    def test_shard_spans_carry_paging_attributes(self):
+        tracer = Tracer()
+        tiered_config = TieredStorageConfig(cache_budget_bytes=64 << 10)
+        with _service(tiered=tiered_config, tracer=tracer) as service:
+            service.search(service.query_log[0].text)
+        shard_spans = [
+            span
+            for trace in tracer.traces
+            for span in trace.iter_tree()
+            if span.name == "shard"
+        ]
+        assert shard_spans
+        for span in shard_spans:
+            assert "blocks_fetched" in span.attributes
+            assert "bytes_read" in span.attributes
+            assert span.attributes["blocks_fetched"] >= 0
+
+
+IDEAL = PartitionModelConfig(
+    num_partitions=1,
+    partition_overhead=0.0,
+    merge_base=0.0,
+    merge_per_partition=0.0,
+)
+
+
+def _simulate_one(partitions, demand=0.5, metrics=None):
+    sim = Simulator()
+    done = []
+    spec = ServerSpec(
+        name="test",
+        num_cores=4,
+        core_speed=1.0,
+        idle_power_watts=0.0,
+        peak_power_watts=1.0,
+    )
+    server = SimulatedServer(
+        sim,
+        spec,
+        partitions,
+        imbalance_rng=np.random.default_rng(0),
+        on_complete=done.append,
+        metrics=metrics,
+    )
+    record = QueryRecord(query_id=0, client_send=0.0, demand=demand)
+    sim.schedule(0.0, server.handle_arrival, record)
+    sim.run()
+    return record
+
+
+class TestStorageCostModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StorageModelConfig(cache_hit_rate=1.0)
+        with pytest.raises(ValueError):
+            StorageModelConfig(block_fetch_latency_s=-1.0)
+        with pytest.raises(ValueError):
+            StorageModelConfig(blocks_per_demand_s=-1.0)
+
+    def test_fetch_arithmetic(self):
+        storage = StorageModelConfig(
+            block_fetch_latency_s=1e-3,
+            blocks_per_demand_s=100.0,
+            cache_hit_rate=0.75,
+        )
+        # 2 s of demand → 200 block touches → 50 misses → 50 ms.
+        assert storage.blocks_fetched(2.0) == pytest.approx(50.0)
+        assert storage.fetch_seconds(2.0) == pytest.approx(0.05)
+
+    def test_effective_demand_adds_fetch_time(self):
+        storage = StorageModelConfig(
+            block_fetch_latency_s=1e-3,
+            blocks_per_demand_s=100.0,
+            cache_hit_rate=0.5,
+        )
+        config = PartitionModelConfig(
+            num_partitions=1,
+            partition_overhead=0.0,
+            merge_base=0.0,
+            merge_per_partition=0.0,
+            storage=storage,
+        )
+        assert config.effective_demand(1.0) == pytest.approx(
+            1.0 + 100.0 * 0.5 * 1e-3
+        )
+
+    def test_no_storage_model_is_unchanged(self):
+        assert IDEAL.effective_demand(0.7) == pytest.approx(0.7)
+
+    def test_unloaded_latency_includes_fetch_time(self):
+        storage = StorageModelConfig(
+            block_fetch_latency_s=1e-3,
+            blocks_per_demand_s=100.0,
+            cache_hit_rate=0.5,
+        )
+        slow = PartitionModelConfig(
+            num_partitions=1,
+            partition_overhead=0.0,
+            merge_base=0.0,
+            merge_per_partition=0.0,
+            storage=storage,
+        )
+        resident = _simulate_one(IDEAL, demand=1.0)
+        tiered = _simulate_one(slow, demand=1.0)
+        assert tiered.merge_end == pytest.approx(
+            resident.merge_end + 0.05
+        )
+
+    def test_sim_store_counters_emitted(self):
+        metrics = MetricsRegistry()
+        storage = StorageModelConfig(
+            block_fetch_latency_s=1e-3,
+            blocks_per_demand_s=100.0,
+            cache_hit_rate=0.5,
+        )
+        config = PartitionModelConfig(
+            num_partitions=2,
+            storage=storage,
+        )
+        _simulate_one(config, demand=1.0, metrics=metrics)
+        assert metrics.counter("sim.store.blocks_fetched").value == 50
+        assert metrics.gauge(
+            "sim.store.fetch_demand_s"
+        ).value == pytest.approx(0.05)
+
+    def test_higher_hit_rate_cuts_fetch_time(self):
+        base = dict(block_fetch_latency_s=1e-3, blocks_per_demand_s=200.0)
+        cold = StorageModelConfig(cache_hit_rate=0.0, **base)
+        warm = StorageModelConfig(cache_hit_rate=0.9, **base)
+        assert warm.fetch_seconds(1.0) < cold.fetch_seconds(1.0)
+
+    def test_pruning_discounts_fetches(self):
+        """BMW's fewer descents mean fewer block fetches: the storage
+        surcharge applies to the *pruned* demand."""
+        storage = StorageModelConfig(
+            block_fetch_latency_s=1e-3,
+            blocks_per_demand_s=100.0,
+            cache_hit_rate=0.0,
+        )
+        exhaustive = PartitionModelConfig(
+            num_partitions=1,
+            partition_overhead=0.0,
+            merge_base=0.0,
+            merge_per_partition=0.0,
+            storage=storage,
+        )
+        pruned = PartitionModelConfig(
+            num_partitions=1,
+            partition_overhead=0.0,
+            merge_base=0.0,
+            merge_per_partition=0.0,
+            traversal="block_max_wand",
+            pruning_factor=0.4,
+            storage=storage,
+        )
+        assert pruned.effective_demand(1.0) == pytest.approx(
+            0.4 + 0.4 * 100.0 * 1e-3
+        )
+        assert pruned.effective_demand(1.0) < exhaustive.effective_demand(1.0)
