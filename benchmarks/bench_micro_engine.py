@@ -5,9 +5,14 @@ three traversal algorithms, the merge, and the postings codec, so
 engine regressions are caught where they originate.
 """
 
+import os
+import time
+
 import numpy as np
 import pytest
 
+from repro.engine.execution import ExecutionConfig
+from repro.engine.isn import IndexServingNode
 from repro.index.compression import decode_postings, encode_postings
 from repro.index.postings import PostingsList
 from repro.search.executor import Searcher
@@ -58,6 +63,44 @@ def test_micro_bmw_prunes_vs_exhaustive(service, query_sample):
         f"BMW must score >= 2x fewer docs than exhaustive DAAT: "
         f"{bmw_docs} vs {exhaustive_docs}"
     )
+
+
+def test_micro_process_backend_scaling(service, query_sample):
+    """Perf gate: the process backend must actually escape the GIL.
+
+    Batched execution over the reference instance must be bit-identical
+    (doc ids *and* float scores) between the thread backend and the
+    process backend at every worker count — asserted unconditionally —
+    and, on machines with the cores to show it, 4 workers must deliver
+    at least 2x the 1-worker throughput.
+    """
+
+    def run(execution):
+        with IndexServingNode(
+            service.partitioned, execution=execution
+        ) as node:
+            node.execute_batch(query_sample[:8])  # warm pools/workers
+            start = time.perf_counter()
+            responses = node.execute_batch(query_sample)
+            elapsed = time.perf_counter() - start
+        pairs = [
+            [(hit.doc_id, hit.score) for hit in response.hits]
+            for response in responses
+        ]
+        return len(query_sample) / elapsed, pairs
+
+    _, expected = run(ExecutionConfig(backend="threads"))
+    throughput = {}
+    for workers in (1, 4):
+        throughput[workers], pairs = run(
+            ExecutionConfig(backend="processes", workers=workers)
+        )
+        assert pairs == expected, f"workers={workers} diverged"
+
+    cores = len(os.sched_getaffinity(0))
+    if cores < 4:
+        pytest.skip(f"scaling gate needs 4 cores, have {cores}")
+    assert throughput[4] >= 2.0 * throughput[1], throughput
 
 
 def test_micro_analyzer_throughput(benchmark, service):

@@ -49,6 +49,11 @@ from repro.core.reporting import format_series, format_table
 from repro.corpus.generator import CorpusConfig
 from repro.corpus.querylog import QueryLog, QueryLogConfig
 from repro.corpus.vocabulary import VocabularyConfig
+from repro.engine.execution import (
+    EXECUTION_BACKENDS,
+    ExecutionConfig,
+    resolve_execution,
+)
 from repro.engine.hedging import (
     DISABLED_POLICY,
     HedgingPolicy,
@@ -101,6 +106,8 @@ __all__ = [
     # their configs
     "EngineConfig",
     "ClusterConfig",
+    "ExecutionConfig",
+    "EXECUTION_BACKENDS",
     "DISABLED_POLICY",
     # the common outcome protocol and concrete outcome types
     "QueryOutcome",
@@ -186,6 +193,11 @@ class EngineConfig:
 
     A thin, stable veneer over the internal service config: the same
     knobs, but all keyword-only so adding fields never breaks callers.
+
+    ``execution`` selects the fan-out backend
+    (:class:`ExecutionConfig`); the old ``num_threads`` spelling still
+    works but warns and maps onto
+    ``ExecutionConfig(backend="threads", workers=num_threads)``.
     """
 
     corpus: CorpusConfig = field(default_factory=CorpusConfig)
@@ -195,11 +207,21 @@ class EngineConfig:
     algorithm: "str | TraversalStrategy" = "daat"
     use_global_stats: bool = True
     num_threads: Optional[int] = None
+    execution: Optional[ExecutionConfig] = None
     hedging: Optional[HedgingPolicy] = None
     overload: Optional[OverloadPolicy] = None
     breakers: Optional[BreakerConfig] = None
     faults: Optional[FaultPlan] = None
     tiered: Optional[TieredStorageConfig] = None
+
+    def __post_init__(self) -> None:
+        # Warn at construction time (not first use) and fold the
+        # deprecated spelling away so inner layers never re-warn.
+        resolved = resolve_execution(
+            self.execution, self.num_threads, "EngineConfig"
+        )
+        object.__setattr__(self, "execution", resolved)
+        object.__setattr__(self, "num_threads", None)
 
     def to_service_config(self) -> SearchServiceConfig:
         """The internal config this maps onto."""
@@ -210,7 +232,7 @@ class EngineConfig:
             partition_strategy=self.partition_strategy,
             algorithm=self.algorithm,
             use_global_stats=self.use_global_stats,
-            num_threads=self.num_threads,
+            execution=self.execution,
             hedging=self.hedging,
             overload=self.overload,
             breakers=self.breakers,
@@ -270,6 +292,15 @@ class SearchEngine:
         """Answer a query through the parallel fan-out path."""
         return self._service.search(text, k=k)
 
+    def search_batch(self, texts: List[str], k: int = 10) -> List[IsnResponse]:
+        """Answer many queries in one fan-out wave.
+
+        Identical results to per-query :meth:`search`; on the process
+        execution backend work items are batched per dispatch, which is
+        where cross-query throughput scaling comes from.
+        """
+        return self._service.search_batch(texts, k=k)
+
     def search_page(self, text: str, k: int = 10) -> SearchPage:
         """Answer a query and render the full result page."""
         return self._service.search_page(text, k=k)
@@ -279,7 +310,8 @@ class SearchEngine:
         return self._service.document(doc_id)
 
     def close(self) -> None:
-        """Release the engine's thread pool."""
+        """Deterministically release executors, worker processes, and
+        shared-memory segments (idempotent; context manager does this)."""
         self._service.close()
 
     def __enter__(self) -> "SearchEngine":

@@ -26,9 +26,11 @@ from typing import List, Optional
 
 from repro.api import (
     BIG_SERVER,
+    EXECUTION_BACKENDS,
     SMALL_SERVER,
     CorpusConfig,
     EngineConfig,
+    ExecutionConfig,
     HedgingPolicy,
     QueryLogConfig,
     SearchEngine,
@@ -67,6 +69,14 @@ def _engine_config(
         tiered = TieredStorageConfig(
             cache_budget_bytes=int(tiered_cache_kib * 1024)
         )
+    execution = None
+    backend = getattr(args, "backend", None)
+    workers = getattr(args, "workers", None)
+    if backend is not None or workers is not None:
+        execution = ExecutionConfig(
+            backend=backend if backend is not None else "threads",
+            workers=workers,
+        )
     return EngineConfig(
         corpus=CorpusConfig(
             num_documents=args.docs,
@@ -80,6 +90,7 @@ def _engine_config(
         ),
         num_partitions=num_partitions,
         algorithm=traversal,
+        execution=execution,
         hedging=hedging,
         tiered=tiered,
     )
@@ -434,6 +445,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--docs", type=int, default=1_500,
                         help="corpus size (documents)")
     parser.add_argument("--seed", type=int, default=0, help="master seed")
+    parser.add_argument(
+        "--backend",
+        choices=list(EXECUTION_BACKENDS),
+        default=None,
+        help="execution backend for the native engine's partition "
+             "fan-out: 'threads' (default) or 'processes' (GIL-free "
+             "worker pool over a shared-memory index; bit-identical "
+             "results)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count for the selected backend (default: one per "
+             "partition)",
+    )
     parser.add_argument(
         "--traversal",
         choices=["exhaustive", "wand", "block-max-wand"],

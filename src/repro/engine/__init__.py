@@ -9,6 +9,7 @@ measurements ground the characterization figures and calibrate the
 discrete-event simulator's service-demand model.
 """
 
+from repro.engine.execution import EXECUTION_BACKENDS, ExecutionConfig
 from repro.engine.driver import (
     ClosedLoopDriver,
     ClosedLoopResult,
@@ -34,6 +35,8 @@ from repro.engine.snippets import Snippet, SnippetGenerator
 __all__ = [
     "IndexServingNode",
     "IsnResponse",
+    "ExecutionConfig",
+    "EXECUTION_BACKENDS",
     "HedgingPolicy",
     "ShardLatencyTracker",
     "DISABLED_POLICY",

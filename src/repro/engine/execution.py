@@ -1,0 +1,125 @@
+"""Execution-backend configuration for the native engine.
+
+The paper's central finding is that index-serving nodes are
+compute-bound: query throughput scales with intra-node parallelism.
+The native engine therefore offers two interchangeable execution
+backends for its partition fan-out, selected by one declarative
+:class:`ExecutionConfig` instead of scattered ``num_threads`` kwargs:
+
+- ``"threads"`` — the seed's :class:`~concurrent.futures.ThreadPoolExecutor`
+  fan-out.  Faithful to the original measurements, but per-partition
+  scoring serializes on the GIL, so wall-clock scaling with workers is
+  limited to the numpy-released sections of the kernel.
+- ``"processes"`` — a pool of worker processes attached *read-only* to
+  the index's hot state (postings arrays, block-max metadata, document
+  lengths) exported once into :mod:`multiprocessing.shared_memory`.
+  Scoring runs GIL-free; dispatches carry batches of
+  ``(query, partition)`` work items to amortize IPC, and results come
+  back as compact top-k arrays.  Results are bit-identical — doc ids
+  *and* float scores — to the thread backend under every traversal
+  strategy.
+
+Both backends are interpreted by the same
+:class:`~repro.engine.isn.IndexServingNode`; hedging, deadlines,
+circuit breakers, and overload control keep their semantics either way.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["ExecutionConfig", "EXECUTION_BACKENDS"]
+
+#: The supported execution backends.
+EXECUTION_BACKENDS = ("threads", "processes")
+
+#: Default number of (query, partition) work items per process-pool
+#: dispatch in batch execution; large enough that pickling/IPC is a
+#: small fraction of scoring time, small enough to load-balance.
+DEFAULT_BATCH_SIZE = 32
+
+
+@dataclass(frozen=True, kw_only=True)
+class ExecutionConfig:
+    """How the native ISN executes its partition fan-out.
+
+    Attributes
+    ----------
+    backend:
+        ``"threads"`` (default; the seed's thread-pool fan-out) or
+        ``"processes"`` (GIL-free worker pool over a shared-memory
+        index).
+    workers:
+        Worker count.  ``None`` keeps the backend's default: the
+        partition count, doubled under a hedging policy on the thread
+        backend so backups are not starved by the primaries they race.
+    batch_size:
+        Maximum ``(query, partition)`` work items per process-pool
+        dispatch in batch execution (ignored by the thread backend,
+        which has no IPC to amortize).
+    start_method:
+        :mod:`multiprocessing` start method for the process backend.
+        ``None`` picks ``"fork"`` when the platform offers it (cheapest
+        attach) and ``"spawn"`` otherwise.
+    """
+
+    backend: str = "threads"
+    workers: Optional[int] = None
+    batch_size: int = DEFAULT_BATCH_SIZE
+    start_method: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in EXECUTION_BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; "
+                f"choose from {EXECUTION_BACKENDS}"
+            )
+        if self.workers is not None and self.workers <= 0:
+            raise ValueError("workers must be positive")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.start_method not in (None, "fork", "spawn", "forkserver"):
+            raise ValueError(
+                f"unknown start_method {self.start_method!r}"
+            )
+
+    @property
+    def use_processes(self) -> bool:
+        """True when the process backend is selected."""
+        return self.backend == "processes"
+
+
+def resolve_execution(
+    execution: Optional[ExecutionConfig],
+    num_threads: Optional[int],
+    owner: str,
+) -> Optional[ExecutionConfig]:
+    """Fold a deprecated ``num_threads`` kwarg into an ExecutionConfig.
+
+    The pre-redesign API spelled worker counts as ad-hoc
+    ``num_threads`` kwargs on :class:`EngineConfig`,
+    :class:`SearchServiceConfig`, and the ISN.  This shim keeps those
+    spellings working — mapped onto
+    ``ExecutionConfig(backend="threads", workers=num_threads)`` with a
+    :class:`DeprecationWarning` — while rejecting ambiguous calls that
+    set both the old and the new knob.
+    """
+    if num_threads is None:
+        return execution
+    if num_threads <= 0:
+        raise ValueError("num_threads must be positive")
+    if execution is not None:
+        raise TypeError(
+            f"{owner}: pass either execution=ExecutionConfig(...) or the "
+            "deprecated num_threads, not both"
+        )
+    warnings.warn(
+        f"{owner}: num_threads is deprecated; use "
+        "execution=ExecutionConfig(backend=\"threads\", "
+        f"workers={num_threads}) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return ExecutionConfig(backend="threads", workers=num_threads)

@@ -33,6 +33,7 @@ from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+from repro.engine.execution import ExecutionConfig, resolve_execution
 from repro.engine.hedging import DISABLED_POLICY, HedgingPolicy, ShardLatencyTracker
 from repro.engine.instrumentation import ComponentTimings
 from repro.index.partitioner import PartitionedIndex
@@ -50,6 +51,7 @@ from repro.search.topk import SearchHit
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cache.querycache import CachedPage, QueryResultCache
+    from repro.index.store import TieredStorageConfig
 
 #: Linear bucket edges for the coverage histogram (fractions of shards).
 COVERAGE_BUCKETS = tuple(i / 20.0 for i in range(21))
@@ -130,10 +132,28 @@ class IndexServingNode:
     partitioned:
         The server's index shards.
     num_threads:
-        Worker threads for the partition fan-out; defaults to the
-        partition count (the benchmark's thread-per-partition setting),
-        doubled when a hedging policy is attached so backup attempts
-        are not starved by the primaries they are meant to overtake.
+        Deprecated spelling of
+        ``execution=ExecutionConfig(backend="threads", workers=...)``;
+        emits a :class:`DeprecationWarning`.
+    execution:
+        The :class:`~repro.engine.execution.ExecutionConfig` selecting
+        the fan-out backend.  ``"threads"`` (default) fans out on a
+        thread pool sized to the partition count — doubled when a
+        hedging policy is attached so backup attempts are not starved
+        by the primaries they are meant to overtake.  ``"processes"``
+        exports the index hot state once into shared memory and scores
+        on a GIL-free :class:`~repro.engine.mp.ProcessShardPool`;
+        results stay bit-identical to the thread backend.
+    shared_source:
+        Resident index to export for process workers when
+        ``partitioned`` itself is not exportable (tiered shards page
+        blocks on demand and cannot be flattened).  Workers re-tier
+        the attached shards with ``tiered``, so storage counters keep
+        their semantics per worker.
+    tiered:
+        The :class:`~repro.index.store.TieredStorageConfig` process
+        workers re-apply to the attached resident shards.  Ignored by
+        the thread backend, which searches ``partitioned`` as given.
     algorithm:
         Traversal algorithm for shard searchers — an executor algorithm
         name or a :class:`~repro.search.strategy.TraversalStrategy`
@@ -184,7 +204,16 @@ class IndexServingNode:
         faults: Optional[FaultPlan] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        execution: Optional[ExecutionConfig] = None,
+        shared_source: Optional[PartitionedIndex] = None,
+        tiered: Optional["TieredStorageConfig"] = None,
     ):
+        execution = resolve_execution(
+            execution, num_threads, "IndexServingNode"
+        )
+        self._execution = (
+            execution if execution is not None else ExecutionConfig()
+        )
         self.partitioned = partitioned
         self.cache = cache
         self._tracer = tracer
@@ -220,23 +249,63 @@ class IndexServingNode:
         ]
         analyzer = partitioned[0].index.analyzer
         self._parser = QueryParser(analyzer)
-        if num_threads is not None and num_threads <= 0:
-            raise ValueError("num_threads must be positive")
-        if num_threads is not None:
-            workers = num_threads
-        else:
+        if (
+            self._execution.use_processes
+            or self._execution.workers is None
+        ):
+            # Thread-backend default, and the coordinator pool size on
+            # the process backend (where ``workers`` counts processes):
+            # one thread per partition, doubled under hedging.
             workers = partitioned.num_partitions
             if self._hedging is not None and self._hedging.hedges_enabled:
                 workers *= 2
+        else:
+            workers = self._execution.workers
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="isn-shard"
         )
+        self._arena = None
+        self._process_pool = None
+        if self._execution.use_processes:
+            from repro.engine.mp import ProcessShardPool, WorkerOptions
+            from repro.index.shared import SharedIndexArena
+
+            source = (
+                shared_source if shared_source is not None else partitioned
+            )
+            self._arena = SharedIndexArena(source)
+            self._process_pool = ProcessShardPool(
+                self._arena.spec,
+                workers=(
+                    self._execution.workers
+                    if self._execution.workers is not None
+                    else partitioned.num_partitions
+                ),
+                options=WorkerOptions(
+                    algorithm=algorithm,
+                    use_global_stats=use_global_stats,
+                    tiered=tiered,
+                    collect_metrics=metrics is not None,
+                ),
+                metrics=metrics,
+                start_method=self._execution.start_method,
+            )
         self._closed = False
 
     @property
     def num_partitions(self) -> int:
         """Partition count of the served index."""
         return self.partitioned.num_partitions
+
+    @property
+    def execution(self) -> ExecutionConfig:
+        """The active execution-backend configuration."""
+        return self._execution
+
+    @property
+    def process_pool(self):
+        """The GIL-free worker pool (None on the thread backend)."""
+        return self._process_pool
 
     @property
     def hedging(self) -> Optional[HedgingPolicy]:
@@ -337,6 +406,8 @@ class IndexServingNode:
         fanout_start = time.perf_counter()
         if self._resilient_fanout:
             outcome = self._fanout_hedged(query, fanout_start)
+        elif self._process_pool is not None:
+            outcome = self._fanout_processes(query)
         else:
             futures = [
                 self._pool.submit(self._search_shard, searcher, query)
@@ -398,11 +469,137 @@ class IndexServingNode:
             parse_start, parse_end, fanout_start, fanout_end, total_start,
         )
 
+    def execute_batch(
+        self,
+        texts: List[str],
+        k: int = DEFAULT_TOP_K,
+        mode: QueryMode = QueryMode.OR,
+    ) -> List:
+        """Answer many queries in one fan-out wave.
+
+        On the process backend, all pending ``(query, partition)`` work
+        items are packed into dispatches of at most
+        ``execution.batch_size`` so the IPC round-trip is amortized
+        over many scoring calls — this is the path that exposes
+        cross-query scaling.  On the thread backend every item is an
+        independent pool task.  Either way each response is identical
+        (ids *and* float scores) to what :meth:`execute` would return
+        for that text, and the result cache is consulted and fed
+        exactly as on the single-query path.
+
+        Resilience features (hedging, breakers, faults, admission
+        control) are per-query machinery, so when any is configured
+        this method degrades to sequential :meth:`execute` calls.
+        """
+        self._ensure_open()
+        if self._resilient_fanout or self._gate is not None:
+            return [self.execute(text, k=k, mode=mode) for text in texts]
+
+        n = self.num_partitions
+        responses: List = [None] * len(texts)
+        parsed: List[Optional[ParsedQuery]] = [None] * len(texts)
+        windows: List[Tuple[float, float, float]] = []
+        pending: List[int] = []
+        for position, text in enumerate(texts):
+            total_start = time.perf_counter()
+            parse_start = time.perf_counter()
+            query = self._parser.parse(text, mode=mode, k=k)
+            parse_end = time.perf_counter()
+            parsed[position] = query
+            windows.append((total_start, parse_start, parse_end))
+            if self.cache is not None:
+                entry = self.cache.lookup_entry(query)
+                if entry is not None:
+                    responses[position] = self._respond_from_cache(
+                        text, entry, total_start, parse_start, parse_end
+                    )
+                    continue
+            pending.append(position)
+
+        fanout_start = time.perf_counter()
+        answered: Dict[int, List[tuple]] = {
+            position: [] for position in pending
+        }
+        items = [
+            (position, shard) for position in pending for shard in range(n)
+        ]
+        if self._process_pool is not None:
+            batch = self._execution.batch_size
+            dispatches = []
+            for lo in range(0, len(items), batch):
+                chunk = items[lo : lo + batch]
+                dispatches.append(
+                    (
+                        chunk,
+                        self._process_pool.submit_batch(
+                            [
+                                (shard, parsed[position])
+                                for position, shard in chunk
+                            ]
+                        ),
+                    )
+                )
+            for chunk, future in dispatches:
+                for (position, _), (shard, result, start, end) in zip(
+                    chunk, future.result()
+                ):
+                    answered[position].append(
+                        (shard, "primary", result, start, end)
+                    )
+        else:
+            futures = [
+                (
+                    position,
+                    shard,
+                    self._pool.submit(
+                        self._search_shard,
+                        self._searchers[shard],
+                        parsed[position],
+                    ),
+                )
+                for position, shard in items
+            ]
+            for position, shard, future in futures:
+                answered[position].append(
+                    (shard, "primary", *future.result())
+                )
+        fanout_end = time.perf_counter()
+
+        for position in pending:
+            shard_answers = sorted(
+                answered[position], key=lambda item: item[0]
+            )
+            outcome = _FanoutOutcome(answered=shard_answers, num_shards=n)
+            total_start, parse_start, parse_end = windows[position]
+            response = self._assemble(
+                texts[position], parsed[position], outcome,
+                parse_start, parse_end, fanout_start, fanout_end,
+                total_start,
+            )
+            if self.cache is not None and response.coverage >= 1.0:
+                self.cache.store(
+                    parsed[position],
+                    response.hits,
+                    matched_volume=response.matched_volume,
+                )
+            responses[position] = response
+        return responses
+
     def close(self) -> None:
-        """Shut down the fan-out thread pool."""
+        """Shut down executors, worker processes, and shared memory.
+
+        Deterministic teardown: the fan-out thread pool drains, the
+        process pool (if any) joins its workers, and the shared-memory
+        segment is unlinked.  Idempotent; the node rejects queries
+        afterwards.
+        """
         if not self._closed:
-            self._pool.shutdown(wait=True)
             self._closed = True
+            self._pool.shutdown(wait=True)
+            if self._process_pool is not None:
+                self._process_pool.close()
+            if self._arena is not None:
+                self._arena.close()
 
     def __enter__(self) -> "IndexServingNode":
         return self
@@ -439,6 +636,59 @@ class IndexServingNode:
         start = time.perf_counter()
         result = searcher.search(query, cancel=cancel)
         end = time.perf_counter()
+        if self._faults is not None:
+            self._faults.slowdown_sleep(shard, end - start)
+            end = time.perf_counter()
+        return result, start, end
+
+    # ------------------------------------------------------------------
+    # process-backend fan-out
+
+    def _fanout_processes(self, query: ParsedQuery) -> _FanoutOutcome:
+        """Plain fan-out over the worker-process pool.
+
+        Shards are dealt round-robin into one batch dispatch per
+        worker, so a single query still spreads across all processes
+        while each worker receives exactly one IPC message.
+        """
+        n = self.num_partitions
+        lanes = min(self._process_pool.num_workers, n)
+        futures = [
+            self._process_pool.submit_batch(
+                [(shard, query) for shard in range(lane, n, lanes)]
+            )
+            for lane in range(lanes)
+        ]
+        answered = [
+            (shard, "primary", result, start, end)
+            for future in futures
+            for shard, result, start, end in future.result()
+        ]
+        answered.sort(key=lambda item: item[0])
+        return _FanoutOutcome(answered=answered, num_shards=n)
+
+    def _search_shard_attempt_mp(
+        self, shard: int, query: ParsedQuery, cancel: threading.Event
+    ):
+        """One hedged attempt dispatched to the worker-process pool.
+
+        Runs on a coordinator thread: faults inject parent-side (so
+        chaos plans keep their semantics on either backend), the
+        cancellation token is honoured up to the dispatch (a worker
+        already scoring cannot be interrupted — the gather discards the
+        late answer instead), and a worker crash surfaces as a typed
+        :class:`~repro.engine.mp.WorkerCrashError` that flows through
+        the retry/breaker machinery like any shard failure.
+        """
+        if self._faults is not None:
+            self._faults.before_search(shard)
+        if cancel.is_set():
+            raise SearchCancelled(
+                f"attempt for shard {shard} cancelled before dispatch"
+            )
+        result, start, end = self._process_pool.submit_one(
+            shard, query
+        ).result()
         if self._faults is not None:
             self._faults.slowdown_sleep(shard, end - start)
             end = time.perf_counter()
@@ -489,13 +739,18 @@ class IndexServingNode:
 
         def submit(shard: int, kind: str) -> None:
             token = threading.Event()
-            future = self._pool.submit(
-                self._search_shard_attempt,
-                shard,
-                self._searchers[shard],
-                query,
-                token,
-            )
+            if self._process_pool is not None:
+                future = self._pool.submit(
+                    self._search_shard_attempt_mp, shard, query, token
+                )
+            else:
+                future = self._pool.submit(
+                    self._search_shard_attempt,
+                    shard,
+                    self._searchers[shard],
+                    query,
+                    token,
+                )
             pending[future] = (shard, kind)
             cancel_tokens[future] = token
             shard_futures[shard].append(future)

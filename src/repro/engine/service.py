@@ -12,6 +12,7 @@ from typing import List, Optional, Tuple
 
 from repro.corpus.generator import CorpusConfig, CorpusGenerator
 from repro.corpus.querylog import QueryLog, QueryLogConfig, QueryLogGenerator
+from repro.engine.execution import ExecutionConfig, resolve_execution
 from repro.engine.hedging import HedgingPolicy
 from repro.engine.isn import IndexServingNode, IsnResponse
 from repro.resilience.admission import OverloadPolicy, ShedResponse
@@ -92,6 +93,7 @@ class SearchServiceConfig:
     algorithm: "str | TraversalStrategy" = "daat"
     use_global_stats: bool = True
     num_threads: Optional[int] = None
+    execution: Optional[ExecutionConfig] = None
     hedging: Optional[HedgingPolicy] = None
     overload: Optional[OverloadPolicy] = None
     breakers: Optional[BreakerConfig] = None
@@ -101,6 +103,13 @@ class SearchServiceConfig:
     def __post_init__(self) -> None:
         if self.num_partitions <= 0:
             raise ValueError("num_partitions must be positive")
+        # Fold the deprecated num_threads spelling into ``execution``
+        # once, here, so downstream layers never re-warn.
+        resolved = resolve_execution(
+            self.execution, self.num_threads, "SearchServiceConfig"
+        )
+        object.__setattr__(self, "execution", resolved)
+        object.__setattr__(self, "num_threads", None)
 
 
 class SearchService:
@@ -131,13 +140,19 @@ class SearchService:
             analyzer=self.analyzer,
             strategy=config.partition_strategy,
         )
+        # Process workers cannot attach tiered shards (they page blocks
+        # on demand), so the resident pre-tiering index is kept as the
+        # shared-memory export source; workers re-tier it locally.
+        resident = self.partitioned
         if config.tiered is not None:
             self.partitioned = tier_partitioned_index(
                 self.partitioned, config.tiered, metrics=metrics
             )
         self.isn = IndexServingNode(
             self.partitioned,
-            num_threads=config.num_threads,
+            execution=config.execution,
+            shared_source=resident,
+            tiered=config.tiered,
             algorithm=config.algorithm,
             use_global_stats=config.use_global_stats,
             hedging=config.hedging,
@@ -176,6 +191,21 @@ class SearchService:
         with ``getattr(response, "shed", False)``.
         """
         return self.isn.execute(text, k=k, mode=mode)
+
+    def search_batch(
+        self,
+        texts: List[str],
+        k: int = DEFAULT_TOP_K,
+        mode: QueryMode = QueryMode.OR,
+    ) -> List[IsnResponse]:
+        """Answer many queries in one fan-out wave.
+
+        Responses are identical to per-query :meth:`search` calls; on
+        the process execution backend the ``(query, partition)`` work
+        items are batched per dispatch, which is where cross-query
+        throughput scaling comes from.
+        """
+        return self.isn.execute_batch(texts, k=k, mode=mode)
 
     def document(self, doc_id: int):
         """Fetch the document behind a result's global doc id."""
@@ -233,7 +263,12 @@ class SearchService:
         return self._positional
 
     def close(self) -> None:
-        """Release the ISN's thread pool."""
+        """Deterministically release the ISN's execution resources.
+
+        Shuts down the fan-out thread pool, joins worker processes, and
+        unlinks the shared-memory index segment (process backend).
+        Using the service as a context manager is equivalent.
+        """
         self.isn.close()
 
     def __enter__(self) -> "SearchService":

@@ -47,6 +47,25 @@ class PostingsList:
         return cls(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
 
     @classmethod
+    def from_trusted_arrays(
+        cls, doc_ids: np.ndarray, frequencies: np.ndarray
+    ) -> "PostingsList":
+        """Wrap pre-validated int64 arrays without copying or checking.
+
+        The zero-copy attach path (worker processes mapping postings
+        out of :mod:`multiprocessing.shared_memory`) re-creates views
+        over arrays the builder already validated; re-running the
+        strictly-increasing scan there would touch every page of every
+        postings list at startup.  Callers guarantee the constructor's
+        invariants: parallel 1-D int64 arrays, strictly increasing
+        non-negative doc ids, positive frequencies.
+        """
+        self = object.__new__(cls)
+        self._doc_ids = doc_ids
+        self._frequencies = frequencies
+        return self
+
+    @classmethod
     def from_pairs(cls, pairs: Sequence[Tuple[int, int]]) -> "PostingsList":
         """Build from ``(doc_id, frequency)`` pairs (must be sorted)."""
         if not pairs:

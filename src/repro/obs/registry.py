@@ -258,6 +258,18 @@ class MetricsRegistry:
                 rows.append((name, kind, f"le_{upper:.9g}", cumulative))
         return rows
 
+    def merge_counter_deltas(self, deltas: Dict[str, int]) -> None:
+        """Fold another registry's counter increments into this one.
+
+        The process execution backend keeps a private registry per
+        worker (counters cannot be shared across processes) and ships
+        the increments accumulated since its previous reply back with
+        each batch of results; merging them here makes ``search.*`` /
+        ``wand.*`` / ``store.*`` totals backend-invariant.
+        """
+        for name, delta in deltas.items():
+            self.counter(name).add(int(delta))
+
     def reset(self) -> None:
         """Drop every registered metric (names become available again)."""
         with self._lock:

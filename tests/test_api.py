@@ -10,6 +10,7 @@ from repro.api import (
     ClusterModel,
     CorpusConfig,
     EngineConfig,
+    ExecutionConfig,
     FanoutQueryRecord,
     HedgingPolicy,
     HiccupConfig,
@@ -184,3 +185,96 @@ class TestHedgeConfigDeprecationShim:
     def test_missing_delay_rejected(self):
         with pytest.raises(TypeError):
             HedgeConfig()
+
+
+class TestExecutionConfigApi:
+    """The redesigned execution surface and its num_threads shim."""
+
+    def test_execution_config_is_exported(self):
+        assert "ExecutionConfig" in repro.api.__all__
+        assert "EXECUTION_BACKENDS" in repro.api.__all__
+        assert repro.api.EXECUTION_BACKENDS == ("threads", "processes")
+
+    def test_new_spelling_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            config = EngineConfig(
+                corpus=TINY_ENGINE.corpus,
+                query_log=TINY_ENGINE.query_log,
+                num_partitions=2,
+                execution=ExecutionConfig(backend="threads", workers=3),
+            )
+        assert config.execution.workers == 3
+
+    def test_engine_config_num_threads_warns_and_maps(self):
+        with pytest.warns(DeprecationWarning, match="num_threads"):
+            config = EngineConfig(
+                corpus=TINY_ENGINE.corpus,
+                query_log=TINY_ENGINE.query_log,
+                num_partitions=2,
+                num_threads=3,
+            )
+        assert config.execution == ExecutionConfig(
+            backend="threads", workers=3
+        )
+        # Folded once at the facade: building the service config from
+        # the already-resolved EngineConfig re-warns nowhere.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            service_config = config.to_service_config()
+        assert service_config.execution.workers == 3
+
+    def test_service_config_num_threads_warns_and_maps(self):
+        from repro.engine.service import SearchServiceConfig
+
+        with pytest.warns(DeprecationWarning, match="num_threads"):
+            config = SearchServiceConfig(num_partitions=2, num_threads=4)
+        assert config.execution == ExecutionConfig(
+            backend="threads", workers=4
+        )
+
+    def test_isn_num_threads_warns(self, engine):
+        from repro.engine.isn import IndexServingNode
+
+        partitioned = engine.service.partitioned
+        with pytest.warns(DeprecationWarning, match="num_threads"):
+            node = IndexServingNode(partitioned, num_threads=2)
+        with node:
+            assert node.execution.workers == 2
+
+    def test_both_spellings_rejected(self):
+        with pytest.raises(TypeError, match="not both"):
+            EngineConfig(
+                corpus=TINY_ENGINE.corpus,
+                query_log=TINY_ENGINE.query_log,
+                num_partitions=2,
+                num_threads=3,
+                execution=ExecutionConfig(),
+            )
+
+    def test_nonpositive_num_threads_still_value_error(self):
+        with pytest.raises(ValueError):
+            EngineConfig(
+                corpus=TINY_ENGINE.corpus,
+                query_log=TINY_ENGINE.query_log,
+                num_partitions=2,
+                num_threads=0,
+            )
+
+    def test_process_backend_engine_round_trip(self):
+        config = EngineConfig(
+            corpus=TINY_ENGINE.corpus,
+            query_log=TINY_ENGINE.query_log,
+            num_partitions=2,
+            execution=ExecutionConfig(backend="processes", workers=2),
+        )
+        with SearchEngine(config) as engine:
+            texts = [q.text for q in engine.query_log[:4]]
+            singles = [engine.search(text, k=5) for text in texts]
+            batched = engine.search_batch(texts, k=5)
+            for one, many in zip(singles, batched):
+                assert many.doc_ids() == one.doc_ids()
+        # close() tore the pool and shared segment down; the engine is
+        # now unusable, deterministically.
+        with pytest.raises(RuntimeError):
+            engine.search(texts[0])

@@ -1,0 +1,326 @@
+"""The process execution backend: shared index, worker pool, bit-identity.
+
+The GIL-escape contract has three parts, each tested here:
+
+- **zero-copy attach** — :class:`SharedIndexArena` exports the index
+  hot state into one shared-memory segment and
+  :func:`attach_shared_index` rebuilds a structurally identical index
+  over read-only views; searches over the attached index are
+  bit-identical (ids *and* float scores) to the original, across
+  random corpora × all four traversal strategies × partition counts
+  (hypothesis);
+- **backend equivalence** — a full :class:`IndexServingNode` on
+  ``backend="processes"`` answers every query identically to the
+  thread backend, on the single-query and the batched path;
+- **worker lifecycle** — a SIGKILLed worker surfaces as a typed
+  :class:`WorkerCrashError`, feeds the circuit breaker, degrades
+  coverage like any shard failure, and the pool respawns the worker;
+  ``close()`` deterministically unlinks the shared segment.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.corpus.documents import Document, DocumentCollection
+from repro.engine.execution import ExecutionConfig
+from repro.engine.isn import IndexServingNode
+from repro.engine.mp import ProcessShardPool, WorkerCrashError, WorkerOptions
+from repro.index.partitioner import partition_index
+from repro.index.shared import SharedIndexArena, attach_shared_index
+from repro.obs.registry import MetricsRegistry
+from repro.resilience.breaker import BreakerConfig
+from repro.search.executor import ALGORITHMS, ShardSearcher
+from repro.search.global_stats import global_scorer_factory
+from repro.search.query import ParsedQuery
+from repro.text.analyzer import Analyzer, AnalyzerConfig
+
+PLAIN = Analyzer(AnalyzerConfig(remove_stopwords=False, stem=False))
+
+words = st.sampled_from(
+    ["alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"]
+)
+documents_strategy = st.lists(
+    st.lists(words, min_size=1, max_size=12).map(" ".join),
+    min_size=1,
+    max_size=14,
+)
+query_strategy = st.lists(words, min_size=1, max_size=4, unique=True)
+
+
+def build(texts):
+    collection = DocumentCollection()
+    for doc_id, text in enumerate(texts):
+        collection.add(Document(doc_id, f"u{doc_id}", "", text))
+    return collection
+
+
+def hit_pairs(hits):
+    """(doc_id, raw float score) pairs — the bit-identity currency."""
+    return [(hit.doc_id, hit.score) for hit in hits]
+
+
+class TestSharedIndexAttach:
+    """The export/attach round-trip is lossless for the scoring kernel."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        documents_strategy,
+        query_strategy,
+        st.integers(min_value=1, max_value=4),
+        st.sampled_from(ALGORITHMS),
+    )
+    def test_attached_index_scores_bit_identical(
+        self, texts, terms, num_partitions, algorithm
+    ):
+        collection = build(texts)
+        partitioned = partition_index(
+            collection, num_partitions, analyzer=PLAIN
+        )
+        arena = SharedIndexArena(partitioned)
+        try:
+            attached, segment = attach_shared_index(arena.spec)
+            query = ParsedQuery(terms=tuple(terms), k=5)
+            factory = global_scorer_factory(partitioned)
+            attached_factory = global_scorer_factory(attached)
+            for shard_id in range(num_partitions):
+                original = ShardSearcher(
+                    partitioned[shard_id],
+                    algorithm=algorithm,
+                    scorer_factory=factory,
+                ).search(query)
+                rebuilt = ShardSearcher(
+                    attached[shard_id],
+                    algorithm=algorithm,
+                    scorer_factory=attached_factory,
+                ).search(query)
+                assert hit_pairs(rebuilt.hits) == hit_pairs(original.hits)
+                assert rebuilt.matched_volume == original.matched_volume
+            segment.close()
+        finally:
+            arena.close()
+
+    def test_attached_arrays_are_read_only_views(self, small_collection):
+        partitioned = partition_index(small_collection, 2)
+        with SharedIndexArena(partitioned) as arena:
+            attached, segment = attach_shared_index(arena.spec)
+            postings = attached[0].index.all_postings()
+            nonempty = next(p for p in postings if len(p))
+            with pytest.raises((ValueError, OSError)):
+                nonempty.doc_ids[0] = 99
+            # Views, not copies: no postings array owns its memory.
+            assert not nonempty.doc_ids.flags.owndata
+            segment.close()
+
+    def test_arena_close_unlinks_segment(self, small_collection):
+        partitioned = partition_index(small_collection, 2)
+        arena = SharedIndexArena(partitioned)
+        path = os.path.join("/dev/shm", arena.spec.shm_name.lstrip("/"))
+        if not os.path.exists(path):  # pragma: no cover - non-Linux
+            pytest.skip("no /dev/shm segment path to observe")
+        arena.close()
+        assert arena.closed
+        assert not os.path.exists(path)
+        arena.close()  # idempotent
+
+    def test_tiered_shards_are_rejected(self, small_collection):
+        from repro.index.store import TieredStorageConfig, tier_partitioned_index
+
+        partitioned = tier_partitioned_index(
+            partition_index(small_collection, 2),
+            TieredStorageConfig(cache_budget_bytes=1 << 16),
+        )
+        with pytest.raises(TypeError, match="re-tiered inside each worker"):
+            SharedIndexArena(partitioned)
+
+
+@pytest.fixture(scope="module")
+def parity_setup(small_collection, small_query_log):
+    """One partitioned index + query sample shared by the parity tests."""
+    partitioned = partition_index(small_collection, 3)
+    texts = [q.text for q in list(small_query_log)[:12]]
+    return partitioned, texts
+
+
+class TestBackendBitIdentity:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_threads_and_processes_answer_identically(
+        self, parity_setup, algorithm
+    ):
+        partitioned, texts = parity_setup
+        with IndexServingNode(
+            partitioned, algorithm=algorithm
+        ) as threads, IndexServingNode(
+            partitioned,
+            algorithm=algorithm,
+            execution=ExecutionConfig(backend="processes", workers=2),
+        ) as processes:
+            for text in texts:
+                expected = threads.execute(text, k=8)
+                actual = processes.execute(text, k=8)
+                assert hit_pairs(actual.hits) == hit_pairs(expected.hits)
+                assert actual.matched_volume == expected.matched_volume
+                assert actual.coverage == 1.0
+
+    def test_execute_batch_matches_execute_on_both_backends(
+        self, parity_setup
+    ):
+        partitioned, texts = parity_setup
+        for execution in (
+            None,
+            ExecutionConfig(backend="processes", workers=2, batch_size=5),
+        ):
+            with IndexServingNode(
+                partitioned, execution=execution
+            ) as node:
+                singles = [node.execute(text, k=8) for text in texts]
+                batched = node.execute_batch(texts, k=8)
+                assert len(batched) == len(singles)
+                for one, many in zip(singles, batched):
+                    assert hit_pairs(many.hits) == hit_pairs(one.hits)
+                    assert many.matched_volume == one.matched_volume
+
+    def test_worker_counters_merge_into_parent_registry(self, parity_setup):
+        partitioned, texts = parity_setup
+        threads_metrics, process_metrics = (
+            MetricsRegistry(),
+            MetricsRegistry(),
+        )
+        with IndexServingNode(
+            partitioned, algorithm="wand", metrics=threads_metrics
+        ) as threads, IndexServingNode(
+            partitioned,
+            algorithm="wand",
+            metrics=process_metrics,
+            execution=ExecutionConfig(backend="processes", workers=2),
+        ) as processes:
+            for text in texts:
+                threads.execute(text, k=8)
+                processes.execute(text, k=8)
+        expected = threads_metrics.snapshot()
+        actual = process_metrics.snapshot()
+        compared = 0
+        for name, entry in expected.items():
+            if entry["type"] != "counter" or not name.startswith(
+                ("search.", "wand.")
+            ):
+                continue
+            compared += 1
+            assert actual[name]["value"] == entry["value"], name
+        assert compared > 0
+
+
+class TestWorkerLifecycle:
+    def _kill_one_worker(self, pool: ProcessShardPool) -> int:
+        pid = pool.worker_pids()[0]
+        os.kill(pid, signal.SIGKILL)
+        # SIGKILL is immediate; the kernel closes the worker's pipe end,
+        # so the next dispatch observes EOF.  (The zombie is reaped by
+        # the pool's respawn path.)
+        time.sleep(0.05)
+        return pid
+
+    def test_crash_is_typed_and_pool_self_heals(self, parity_setup):
+        partitioned, texts = parity_setup
+        with IndexServingNode(
+            partitioned,
+            execution=ExecutionConfig(backend="processes", workers=1),
+        ) as node:
+            pool = node.process_pool
+            node.execute(texts[0], k=5)
+            dead = self._kill_one_worker(pool)
+            # Plain fan-out has no retry machinery: the crash propagates
+            # as the typed failure, naming the shards it took down.
+            with pytest.raises(WorkerCrashError) as excinfo:
+                node.execute(texts[1], k=5)
+            assert excinfo.value.shards
+            # Self-healed: a respawned worker serves the next query.
+            response = node.execute(texts[0], k=5)
+            assert response.coverage == 1.0
+            assert dead not in pool.worker_pids()
+
+    def test_crash_trips_breaker_and_degrades_coverage(self, parity_setup):
+        partitioned, texts = parity_setup
+        with IndexServingNode(
+            partitioned,
+            execution=ExecutionConfig(backend="processes", workers=1),
+            breakers=BreakerConfig(
+                failure_threshold=1, recovery_time_s=30.0
+            ),
+        ) as node:
+            node.execute(texts[0], k=5)
+            self._kill_one_worker(node.process_pool)
+            # The crashed dispatch fails one shard's attempt; with a
+            # one-strike breaker the retry is fenced off, so the answer
+            # arrives with degraded coverage instead of an error.
+            response = node.execute(texts[1], k=5)
+            assert response.coverage < 1.0
+            assert response.breaker_skips >= 1
+            from repro.resilience.breaker import BreakerState
+
+            board = node.breaker_board
+            now = time.perf_counter()
+            assert any(
+                board.breaker(shard).state(now) is not BreakerState.CLOSED
+                for shard in range(node.num_partitions)
+            )
+            # The pool itself recovered: the un-fenced shards still serve.
+            follow_up = node.execute(texts[2], k=5)
+            assert 0.0 < follow_up.coverage < 1.0
+
+    def test_node_close_unlinks_shared_segment(self, parity_setup):
+        partitioned, texts = parity_setup
+        node = IndexServingNode(
+            partitioned,
+            execution=ExecutionConfig(backend="processes", workers=1),
+        )
+        arena = node._arena
+        path = os.path.join("/dev/shm", arena.spec.shm_name.lstrip("/"))
+        if not os.path.exists(path):  # pragma: no cover - non-Linux
+            node.close()
+            pytest.skip("no /dev/shm segment path to observe")
+        node.execute(texts[0], k=5)
+        node.close()
+        assert arena.closed
+        assert not os.path.exists(path)
+        with pytest.raises(RuntimeError):
+            node.execute(texts[0], k=5)
+
+    def test_pool_rejects_submissions_after_close(self, small_collection):
+        partitioned = partition_index(small_collection, 1)
+        with SharedIndexArena(partitioned) as arena:
+            pool = ProcessShardPool(
+                arena.spec, workers=1, options=WorkerOptions()
+            )
+            future = pool.submit_one(
+                0, ParsedQuery(terms=("alpha",), k=3)
+            )
+            future.result(timeout=30)
+            pool.close()
+            pool.close()  # idempotent
+            with pytest.raises(RuntimeError):
+                pool.submit_one(0, ParsedQuery(terms=("alpha",), k=3))
+
+
+class TestExecutionConfigValidation:
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            ExecutionConfig(backend="gpu")
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            ExecutionConfig(workers=0)
+        with pytest.raises(ValueError):
+            ExecutionConfig(batch_size=0)
+        with pytest.raises(ValueError, match="start_method"):
+            ExecutionConfig(start_method="teleport")
+
+    def test_defaults_are_the_thread_backend(self):
+        config = ExecutionConfig()
+        assert config.backend == "threads"
+        assert not config.use_processes
+        assert config.workers is None
