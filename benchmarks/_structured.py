@@ -1,0 +1,33 @@
+"""Machine-readable ``BENCH_<fig>.json`` summaries at the repo root.
+
+The rendered tables in ``benchmarks/results/`` are for humans; the
+growth loop and perf-trajectory tooling read repo-root ``BENCH_*.json``
+files instead.  Both the pytest ``emit`` fixture (``data=`` argument)
+and the standalone ``--quick`` entry points of the bench scripts write
+through :func:`write_bench_json`, so the JSON is refreshed by whichever
+path ran last.
+
+Importable from both execution modes: pytest puts ``benchmarks/`` on
+``sys.path`` for the rootdir-less bench modules, and running a bench as
+a script puts its directory there too.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def bench_json_path(name: str) -> Path:
+    """Repo-root path of the summary for ``name`` (e.g. ``"fig27"``)."""
+    return REPO_ROOT / f"BENCH_{name}.json"
+
+
+def write_bench_json(name: str, data: dict) -> Path:
+    """Write one figure's machine-readable summary; returns the path."""
+    path = bench_json_path(name)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"[bench data written to {path}]")
+    return path

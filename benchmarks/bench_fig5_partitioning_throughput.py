@@ -5,6 +5,12 @@ sustainable QPS whose p99 stays under the QoS target, per partition
 count.  Paper shape: moderate partitioning buys throughput headroom
 under a tail-latency SLA (the tail shrinks, so the QoS binds later),
 but the per-partition work inflation eventually claws it back.
+
+The native instance behind the calibration honors ``--bench-backend``:
+``pytest benchmarks/bench_fig5_partitioning_throughput.py
+--bench-backend=processes`` calibrates against the GIL-free process
+backend, the configuration whose intra-node scaling the DES parity test
+(``tests/test_fanout_hedging.py``) checks on multi-core runners.
 """
 
 from repro.core.capacity import capacity_vs_partitions
@@ -15,7 +21,7 @@ PARTITIONS = [1, 2, 4, 8, 16]
 
 
 def test_fig5_partitioning_throughput(
-    benchmark, demand_model, cost_model, emit
+    benchmark, demand_model, cost_model, emit, bench_backend
 ):
     # QoS: 2.5x the mean unloaded service time — a tight tail target
     # that an unpartitioned server can only meet at low load.
@@ -39,7 +45,8 @@ def test_fig5_partitioning_throughput(
     emit(
         "fig5_partitioning_throughput",
         format_series(
-            f"F5: max throughput under p99 <= {qos * 1000:.1f} ms",
+            f"F5: max throughput under p99 <= {qos * 1000:.1f} ms "
+            f"(backend={bench_backend})",
             "partitions",
             PARTITIONS,
             [
@@ -48,6 +55,20 @@ def test_fig5_partitioning_throughput(
                 ("util_at_max", [p.utilization_at_max for p in points]),
             ],
         ),
+        data={
+            "figure": "fig5",
+            "backend": bench_backend,
+            "qos_ms": qos * 1000,
+            "points": [
+                {
+                    "partitions": p.num_partitions,
+                    "max_qps": p.max_qps,
+                    "p99_at_max_ms": p.p99_at_max * 1000,
+                    "util_at_max": p.utilization_at_max,
+                }
+                for p in points
+            ],
+        },
     )
 
     by_partitions = {p.num_partitions: p for p in points}

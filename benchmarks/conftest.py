@@ -38,11 +38,47 @@ BENCH_QUERY_LOG = QueryLogConfig(num_unique_queries=1_000, seed=1234)
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    """Execution-backend selection for the native side of the benches.
+
+    ``--bench-backend=processes`` runs the native engine (and therefore
+    the calibration every DES bench derives its cost model from) on the
+    GIL-free process backend — the configuration the fig5/parity
+    studies need on multi-core runners.  Defaults stay on threads so a
+    plain run matches historical results on any machine.
+    """
+    parser.addoption(
+        "--bench-backend",
+        choices=("threads", "processes"),
+        default="threads",
+        help="native execution backend for the benchmark instance",
+    )
+    parser.addoption(
+        "--bench-workers",
+        type=int,
+        default=None,
+        help="worker count for the chosen backend (default: auto)",
+    )
+
+
 @pytest.fixture(scope="session")
-def service():
+def bench_backend(request):
+    return request.config.getoption("--bench-backend")
+
+
+@pytest.fixture(scope="session")
+def service(request, bench_backend):
     """The native benchmark instance (single partition)."""
+    from repro.engine.execution import ExecutionConfig
+
     config = SearchServiceConfig(
-        corpus=BENCH_CORPUS, query_log=BENCH_QUERY_LOG, num_partitions=1
+        corpus=BENCH_CORPUS,
+        query_log=BENCH_QUERY_LOG,
+        num_partitions=1,
+        execution=ExecutionConfig(
+            backend=bench_backend,
+            workers=request.config.getoption("--bench-workers"),
+        ),
     )
     instance = SearchService(config)
     yield instance
@@ -88,11 +124,21 @@ def results_dir():
 
 @pytest.fixture()
 def emit(results_dir, request):
-    """Write a rendered table to results/ and echo it to stdout."""
+    """Write a rendered table to results/ and echo it to stdout.
 
-    def _emit(name: str, text: str) -> None:
+    With ``data=``, additionally write the machine-readable repo-root
+    ``BENCH_<fig>.json`` summary (the perf trajectory the growth loop
+    reads); the figure id is the leading ``figN``/``tableN`` token of
+    ``name``.
+    """
+
+    def _emit(name: str, text: str, data: dict | None = None) -> None:
         path = results_dir / f"{name}.txt"
         path.write_text(text + "\n")
         print(f"\n{text}\n[written to {path}]")
+        if data is not None:
+            from _structured import write_bench_json
+
+            write_bench_json(name.split("_")[0], data)
 
     return _emit

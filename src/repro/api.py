@@ -38,6 +38,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Protocol, Tuple, runtime_checkable
 
+from repro.capacity import (
+    CapacityModel,
+    CapacityPrediction,
+    ProvisioningPlan,
+    ServiceTimeProfile,
+    peak_replicas,
+    plan_provisioning,
+    static_replica_hours,
+)
 from repro.cluster.fanout import (
     FanoutConfig,
     FanoutQueryRecord,
@@ -86,6 +95,14 @@ from repro.obs.tracing import Tracer
 from repro.search.strategy import TraversalStrategy
 from repro.servers.catalog import BIG_SERVER, MID_SERVER, SMALL_SERVER
 from repro.servers.spec import ServerSpec
+from repro.sim.autoscale import (
+    AutoscaleConfig,
+    AutoscaleResult,
+    ModelPolicy,
+    ReactivePolicy,
+    StaticPolicy,
+    run_autoscaled_cluster,
+)
 from repro.sim.hiccups import HiccupConfig
 from repro.sim.network import NetworkModel, NoDelay
 from repro.sim.outages import OutageSpec
@@ -95,6 +112,7 @@ from repro.workload.arrivals import (
     MMPPArrivals,
     PoissonArrivals,
 )
+from repro.workload.diurnal import DiurnalArrivals, FlashCrowd
 from repro.workload.scenario import WorkloadScenario
 from repro.workload.servicetime import LognormalDemand
 
@@ -154,6 +172,22 @@ __all__ = [
     "HiccupConfig",
     "OutageSpec",
     "ShardLatencyTracker",
+    # capacity planning & autoscaling
+    "CapacityModel",
+    "CapacityPrediction",
+    "ServiceTimeProfile",
+    "ProvisioningPlan",
+    "peak_replicas",
+    "plan_provisioning",
+    "static_replica_hours",
+    "DiurnalArrivals",
+    "FlashCrowd",
+    "AutoscaleConfig",
+    "AutoscaleResult",
+    "StaticPolicy",
+    "ReactivePolicy",
+    "ModelPolicy",
+    "run_autoscaled_cluster",
     # observability + reporting
     "Tracer",
     "MetricsRegistry",

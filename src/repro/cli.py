@@ -7,7 +7,8 @@ fast default configurations:
 - ``characterize`` — service-time distribution (F1);
 - ``partition-sweep`` — tail latency vs. partition count (F4);
 - ``lowpower`` — big vs. low-power server comparison (F6);
-- ``capacity`` — QoS-bounded max throughput vs. partitions (F5);
+- ``capacity`` — QoS-bounded max throughput vs. partitions (F5), or
+  analytic replica sizing via ``--target-qps``/``--slo-ms`` (F27);
 - ``cache`` — result-cache hit rates (F11a);
 - ``profile-log`` — workload-side characterization of the query log;
 - ``report`` — full Markdown characterization report;
@@ -214,6 +215,8 @@ def cmd_lowpower(args: argparse.Namespace) -> int:
 
 
 def cmd_capacity(args: argparse.Namespace) -> int:
+    if args.target_qps is not None:
+        return _cmd_capacity_plan(args)
     demand, cost_model = _calibrated_models(args)
     qos = args.qos_ms / 1000.0
     points = capacity_vs_partitions(
@@ -234,6 +237,48 @@ def cmd_capacity(args: argparse.Namespace) -> int:
             title=f"Max throughput under p99 <= {args.qos_ms:.1f} ms",
         )
     )
+    return 0
+
+
+def _cmd_capacity_plan(args: argparse.Namespace) -> int:
+    """Analytic sizing: replicas needed for a QPS target under an SLO."""
+    from repro.api import CapacityModel, ServiceTimeProfile
+
+    demand, cost_model = _calibrated_models(args)
+    model = CapacityModel(
+        profile=ServiceTimeProfile.from_demand_model(demand),
+        spec=BIG_SERVER,
+        partitioning=cost_model,
+    )
+    slo_s = args.slo_ms / 1000.0
+    needed = model.replicas_for_slo(
+        args.target_qps, slo_s, shards=args.shards
+    )
+    rows = []
+    for replicas in range(1, needed + 1):
+        p = model.predict(args.target_qps, shards=args.shards,
+                          replicas=replicas)
+        rows.append([
+            replicas,
+            round(p.utilization, 3),
+            "yes" if p.stable else "no",
+            round(p.p50_s * 1000, 1) if p.stable else "inf",
+            round(p.p99_s * 1000, 1) if p.stable else "inf",
+            "yes" if p.stable and p.p99_s <= slo_s else "no",
+        ])
+    print(
+        format_table(
+            ["replicas", "utilization", "stable", "p50_ms", "p99_ms",
+             "meets_slo"],
+            rows,
+            title=(
+                f"Capacity plan: {args.target_qps:.0f} qps across "
+                f"{args.shards} shard(s) under p99 <= {args.slo_ms:.0f} ms "
+                f"({BIG_SERVER.name})"
+            ),
+        )
+    )
+    print(f"provision {needed} replica(s) per shard")
     return 0
 
 
@@ -501,10 +546,31 @@ def build_parser() -> argparse.ArgumentParser:
     lowpower.set_defaults(handler=cmd_lowpower)
 
     capacity = subparsers.add_parser(
-        "capacity", help="QoS-bounded max throughput (F5)"
+        "capacity",
+        help="QoS-bounded max throughput (F5), or analytic replica "
+        "sizing with --target-qps/--slo-ms (F27)",
     )
     add_sim_args(capacity)
     capacity.add_argument("--qos-ms", type=float, default=30.0)
+    capacity.add_argument(
+        "--target-qps",
+        type=float,
+        default=None,
+        help="plan replicas for this offered load instead of sweeping "
+        "partitions (switches to the analytical capacity model)",
+    )
+    capacity.add_argument(
+        "--slo-ms",
+        type=float,
+        default=250.0,
+        help="p99 SLO for --target-qps planning (default 250 ms)",
+    )
+    capacity.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="shard groups the plan fans out over (default 1)",
+    )
     capacity.set_defaults(handler=cmd_capacity)
 
     cache = subparsers.add_parser(

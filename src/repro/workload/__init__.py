@@ -23,6 +23,7 @@ from repro.workload.servicetime import (
     ServiceDemandModel,
 )
 from repro.workload.cached import CachedDemand
+from repro.workload.diurnal import DiurnalArrivals, FlashCrowd
 from repro.workload.scenario import WorkloadScenario
 from repro.workload.trace import TraceArrivals, save_trace
 
@@ -31,6 +32,8 @@ __all__ = [
     "PoissonArrivals",
     "DeterministicArrivals",
     "MMPPArrivals",
+    "DiurnalArrivals",
+    "FlashCrowd",
     "ClosedLoopSpec",
     "ServiceDemandModel",
     "EmpiricalDemand",

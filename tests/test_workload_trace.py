@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.workload.trace import TraceArrivals, save_trace
 
@@ -69,6 +71,31 @@ class TestTraceArrivals:
         path.write_text("0.5\nnot-a-number\n")
         with pytest.raises(ValueError, match="trace.txt:2"):
             TraceArrivals.from_file(path)
+
+    # save_trace serializes at nanosecond precision ("%.9f"), so any
+    # trace whose timestamps are coarser than that must survive the
+    # file round trip bit-exactly after quantization.
+    gaps_strategy = st.lists(
+        st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+        min_size=1,
+        max_size=200,
+    )
+
+    @given(gaps=gaps_strategy, rate_scale=st.sampled_from([0.5, 1.0, 4.0]))
+    @settings(max_examples=60, deadline=None)
+    def test_file_round_trip_property(self, gaps, rate_scale, tmp_path_factory):
+        timestamps = np.round(np.cumsum(np.asarray(gaps)), 9)
+        path = tmp_path_factory.mktemp("traces") / "trace.txt"
+        assert save_trace(timestamps, path) == timestamps.size
+        loaded = TraceArrivals.from_file(path, rate_scale=rate_scale)
+        rng = np.random.default_rng(0)
+        replayed = loaded.arrival_times(timestamps.size, rng)
+        assert loaded.trace_length == timestamps.size
+        assert np.allclose(
+            replayed, timestamps / rate_scale, rtol=0.0, atol=1e-6
+        )
+        # Replay is order-preserving whatever the input spacing.
+        assert np.all(np.diff(replayed) >= 0)
 
     def test_drives_a_simulation(self, rng):
         """A trace plugs into the open-loop runner as an ArrivalProcess."""
