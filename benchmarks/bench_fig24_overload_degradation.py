@@ -183,6 +183,26 @@ def _format(rows, num_queries):
     )
 
 
+def _structured_data(rows, num_queries):
+    protected = {r["load_x"]: r for r in rows if r["protected"]}
+    unprotected = {r["load_x"]: r for r in rows if not r["protected"]}
+    top = max(LOAD_FRACTIONS)
+    return {
+        "figure": "fig24",
+        "capacity_qps": CAPACITY_QPS,
+        "num_queries": num_queries,
+        "num_servers": NUM_SERVERS,
+        "cells": rows,
+        "protected_top_goodput_qps": protected[top]["goodput"],
+        "unprotected_top_goodput_qps": unprotected[top]["goodput"],
+        "protected_p99_worst_over_baseline": max(
+            row["p99"] for row in protected.values()
+        )
+        / protected[min(LOAD_FRACTIONS)]["p99"],
+        "seed": SEED,
+    }
+
+
 def _check(rows) -> None:
     """The acceptance assertions, shared by pytest and --quick modes."""
     protected = {r["load_x"]: r for r in rows if r["protected"]}
@@ -228,7 +248,11 @@ def test_fig24_overload_degradation(benchmark, emit):
     rows = benchmark.pedantic(
         lambda: _sweep(NUM_QUERIES), rounds=1, iterations=1
     )
-    emit("fig24_overload_degradation", _format(rows, NUM_QUERIES))
+    emit(
+        "fig24_overload_degradation",
+        _format(rows, NUM_QUERIES),
+        data=_structured_data(rows, NUM_QUERIES),
+    )
     _check(rows)
 
 
@@ -249,6 +273,10 @@ def main(argv=None) -> int:
     print(_format(rows, num_queries))
     _check(rows)
     _check_deterministic(num_queries)
+
+    from _structured import write_bench_json
+
+    write_bench_json("fig24", _structured_data(rows, num_queries))
     print("fig24 acceptance checks passed")
     return 0
 

@@ -103,6 +103,13 @@ from repro.sim.autoscale import (
     StaticPolicy,
     run_autoscaled_cluster,
 )
+from repro.sim.failures import (
+    SHED_REPLICA_CRASH,
+    MttfMttrFailures,
+    ReplicaFailureModel,
+    TraceFailures,
+    steady_state_availability,
+)
 from repro.sim.hiccups import HiccupConfig
 from repro.sim.network import NetworkModel, NoDelay
 from repro.sim.outages import OutageSpec
@@ -188,6 +195,12 @@ __all__ = [
     "ReactivePolicy",
     "ModelPolicy",
     "run_autoscaled_cluster",
+    # replica failure & recovery
+    "ReplicaFailureModel",
+    "MttfMttrFailures",
+    "TraceFailures",
+    "steady_state_availability",
+    "SHED_REPLICA_CRASH",
     # observability + reporting
     "Tracer",
     "MetricsRegistry",
@@ -342,6 +355,11 @@ class SearchEngine:
     def document(self, doc_id: int):
         """Fetch the document behind a result's global doc id."""
         return self._service.document(doc_id)
+
+    def health(self) -> dict:
+        """Liveness snapshot: backend, worker-pool probe state (process
+        backend; ``health.*`` metrics mirror it), breaker states."""
+        return self._service.health()
 
     def close(self) -> None:
         """Deterministically release executors, worker processes, and

@@ -48,7 +48,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -259,14 +259,16 @@ class CapacityModel:
         mean_work = float(self._work_matrix(shards).mean())
         return replicas * self.spec.compute_capacity / mean_work
 
-    def predict(
-        self, qps: float, shards: int = 1, replicas: int = 1
-    ) -> CapacityPrediction:
-        """Predicted utilization and latency quantiles at ``qps``.
+    def _response_model(
+        self, qps: float, shards: int, replicas: int
+    ) -> "_ResponseModel":
+        """Queueing state + response-time CDF for one operating point.
 
-        An unstable point (offered work ≥ capacity) reports
-        ``stable=False`` with infinite latencies rather than raising, so
-        sweeps can plot the knee.
+        The shared substrate behind :meth:`predict` (which inverts the
+        CDF for quantiles) and :meth:`attainment` (which evaluates it at
+        an SLO).  ``cdf`` excludes the deterministic broker ``merge``
+        shift; callers account for it (quantiles add it, attainment
+        subtracts it from the SLO).
         """
         self._validate(shards, replicas)
         if qps <= 0:
@@ -280,17 +282,15 @@ class CapacityModel:
         service_rate = self.spec.core_speed / mean_work
         utilization = qps / (servers * service_rate)
         if utilization >= 1.0:
-            return CapacityPrediction(
-                qps=qps,
-                shards=shards,
-                replicas=replicas,
+            return _ResponseModel(
                 utilization=utilization,
                 stable=False,
                 probability_wait=1.0,
-                mean_wait_s=float("inf"),
-                p50_s=float("inf"),
-                p95_s=float("inf"),
-                p99_s=float("inf"),
+                total_mean_wait=float("inf"),
+                cdf=None,
+                service_max=float("inf"),
+                mean_response_s=float("inf"),
+                merge=self.broker_merge_per_server * shards,
             )
         probability_wait = erlang_c(qps, service_rate, servers)
         drain = servers * service_rate - qps
@@ -352,9 +352,49 @@ class CapacityModel:
             )
             return float(factor.prod(axis=1).mean())
 
+        return _ResponseModel(
+            utilization=utilization,
+            stable=True,
+            probability_wait=probability_wait,
+            total_mean_wait=total_mean_wait,
+            cdf=cluster_cdf,
+            service_max=float(service.max()),
+            mean_response_s=(
+                total_mean_wait
+                + float(service.max(axis=1).mean())
+                + merge
+            ),
+            merge=merge,
+        )
+
+    def predict(
+        self, qps: float, shards: int = 1, replicas: int = 1
+    ) -> CapacityPrediction:
+        """Predicted utilization and latency quantiles at ``qps``.
+
+        An unstable point (offered work ≥ capacity) reports
+        ``stable=False`` with infinite latencies rather than raising, so
+        sweeps can plot the knee.
+        """
+        state = self._response_model(qps, shards, replicas)
+        if not state.stable:
+            return CapacityPrediction(
+                qps=qps,
+                shards=shards,
+                replicas=replicas,
+                utilization=state.utilization,
+                stable=False,
+                probability_wait=1.0,
+                mean_wait_s=float("inf"),
+                p50_s=float("inf"),
+                p95_s=float("inf"),
+                p99_s=float("inf"),
+            )
+        cluster_cdf = state.cdf
+
         def cluster_quantile(q: float) -> float:
             low = 0.0
-            high = float(service.max()) + total_mean_wait + 1e-6
+            high = state.service_max + state.total_mean_wait + 1e-6
             while cluster_cdf(high) < q:
                 high *= 2.0
                 if high > 1e9:  # pragma: no cover - defensive
@@ -365,20 +405,80 @@ class CapacityModel:
                     low = mid
                 else:
                     high = mid
-            return high + merge
+            return high + state.merge
 
         return CapacityPrediction(
             qps=qps,
             shards=shards,
             replicas=replicas,
-            utilization=utilization,
+            utilization=state.utilization,
             stable=True,
-            probability_wait=probability_wait,
-            mean_wait_s=total_mean_wait,
+            probability_wait=state.probability_wait,
+            mean_wait_s=state.total_mean_wait,
             p50_s=cluster_quantile(0.50),
             p95_s=cluster_quantile(0.95),
             p99_s=cluster_quantile(0.99),
         )
+
+    def attainment(
+        self, qps: float, slo_s: float, shards: int = 1, replicas: int = 1
+    ) -> float:
+        """P(response time ≤ ``slo_s``) at the operating point.
+
+        The CDF evaluated at the SLO — the model's prediction of SLO
+        attainment with every replica up.  Unstable points attain 0.0:
+        an overloaded queue eventually misses every deadline.
+        """
+        if slo_s <= 0:
+            raise ValueError("slo_s must be positive")
+        state = self._response_model(qps, shards, replicas)
+        if not state.stable:
+            return 0.0
+        return min(1.0, state.cdf(max(0.0, slo_s - state.merge)))
+
+    def expected_slo_attainment(
+        self,
+        qps: float,
+        slo_s: float,
+        shards: int,
+        replicas: int,
+        mttf_s: float,
+        mttr_s: float,
+    ) -> float:
+        """Expected SLO attainment under replica MTTF/MTTR failures.
+
+        Each replica is up with steady-state probability
+        ``a = MTTF / (MTTF + MTTR)`` independently, so the number of
+        survivors is Binomial(``replicas``, ``a``); the expectation
+        averages the full-knowledge attainment at each survivor count
+        (zero when none survive or the survivors are unstable at the
+        offered load).  A first-order in-flight loss term is subtracted:
+        a query resident for ``T`` seconds loses a serving replica —
+        and with it the query — with probability ≈ ``shards · T/MTTF``.
+        """
+        if mttf_s <= 0:
+            raise ValueError("mttf_s must be positive")
+        if mttr_s < 0:
+            raise ValueError("mttr_s must be non-negative")
+        availability = mttf_s / (mttf_s + mttr_s)
+        expected = 0.0
+        for up in range(1, replicas + 1):
+            weight = (
+                math.comb(replicas, up)
+                * availability**up
+                * (1.0 - availability) ** (replicas - up)
+            )
+            if weight <= 0.0:
+                continue
+            state = self._response_model(qps, shards, up)
+            if not state.stable:
+                continue
+            att = min(1.0, state.cdf(max(0.0, slo_s - state.merge)))
+            crash_loss = min(
+                1.0, shards * state.mean_response_s / mttf_s
+            )
+            expected += weight * att * (1.0 - crash_loss)
+        return expected
 
     def replicas_for_slo(
         self,
@@ -386,8 +486,19 @@ class CapacityModel:
         p99_slo_s: float,
         shards: int = 1,
         max_replicas: int = 256,
+        *,
+        mttf_s: Optional[float] = None,
+        mttr_s: Optional[float] = None,
+        attainment_target: float = 0.99,
     ) -> int:
         """Smallest replica count whose predicted p99 meets the SLO.
+
+        Without ``mttf_s``/``mttr_s`` this is the full-fleet inverse of
+        :meth:`predict`.  With them, provisioning becomes
+        *availability-aware*: the answer is the smallest N whose
+        :meth:`expected_slo_attainment` over the Binomial survivor
+        distribution meets ``attainment_target`` — N+k headroom, where
+        k absorbs the replicas expected to be down at any instant.
 
         Raises ``ValueError`` when even ``max_replicas`` replicas miss
         the SLO — the SLO is below the unloaded service floor, or the
@@ -397,13 +508,32 @@ class CapacityModel:
             raise ValueError("p99_slo_s must be positive")
         if max_replicas <= 0:
             raise ValueError("max_replicas must be positive")
+        if (mttf_s is None) != (mttr_s is None):
+            raise ValueError("mttf_s and mttr_s must be given together")
+        if not 0.0 < attainment_target < 1.0:
+            raise ValueError("attainment_target must be in (0, 1)")
         # Start at the stability floor instead of probing 1..n replicas
         # that cannot even carry the offered work.
         floor = max(1, math.ceil(qps / self.saturation_qps(shards, 1) + 1e-9))
-        for replicas in range(floor, max_replicas + 1):
-            prediction = self.predict(qps, shards=shards, replicas=replicas)
-            if prediction.stable and prediction.p99_s <= p99_slo_s:
-                return replicas
+        if mttf_s is None:
+            for replicas in range(floor, max_replicas + 1):
+                prediction = self.predict(
+                    qps, shards=shards, replicas=replicas
+                )
+                if prediction.stable and prediction.p99_s <= p99_slo_s:
+                    return replicas
+        else:
+            for replicas in range(floor, max_replicas + 1):
+                expected = self.expected_slo_attainment(
+                    qps,
+                    p99_slo_s,
+                    shards=shards,
+                    replicas=replicas,
+                    mttf_s=mttf_s,
+                    mttr_s=mttr_s,
+                )
+                if expected >= attainment_target:
+                    return replicas
         raise ValueError(
             f"no replica count <= {max_replicas} meets p99 <= "
             f"{p99_slo_s * 1000:.1f} ms at {qps:.0f} qps"
@@ -415,3 +545,19 @@ class CapacityModel:
             raise ValueError("shards must be positive")
         if replicas <= 0:
             raise ValueError("replicas must be positive")
+
+
+@dataclass(frozen=True)
+class _ResponseModel:
+    """Internal: queueing state + response CDF for one operating point."""
+
+    utilization: float
+    stable: bool
+    probability_wait: float
+    total_mean_wait: float
+    #: P(queueing + service max over shards <= t), or None if unstable.
+    #: Excludes the deterministic broker ``merge`` shift.
+    cdf: Optional[Callable[[float], float]]
+    service_max: float
+    mean_response_s: float
+    merge: float

@@ -14,7 +14,9 @@ fast default configurations:
 - ``report`` — full Markdown characterization report;
 - ``trace`` — run one query with tracing on and print its span tree;
 - ``chaos`` — fault-injected simulated run under overload protection
-  (``--dry-run`` prints the fault schedule without running).
+  (``--dry-run`` prints the fault schedule without running);
+- ``health`` — build a serving node, answer warm-up queries, and print
+  its liveness snapshot (worker probes, respawns, breaker states).
 
 Every command accepts ``--docs``/``--seed`` to scale and reseed.
 """
@@ -466,6 +468,52 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_health(args: argparse.Namespace) -> int:
+    """Build a node, serve warm-up queries, print the health snapshot."""
+    from repro.api import BreakerConfig
+
+    config = _engine_config(args, args.partitions)
+    if args.breakers:
+        from dataclasses import replace
+
+        config = replace(config, breakers=BreakerConfig())
+    with SearchEngine(config) as engine:
+        for query in list(engine.query_log)[: args.queries]:
+            engine.search(query.text, k=3)
+        snapshot = engine.health()
+    rows = [
+        ["backend", snapshot["backend"]],
+        ["partitions", snapshot["partitions"]],
+        ["healthy", "yes" if snapshot["healthy"] else "no"],
+    ]
+    pool = snapshot.get("pool")
+    if pool is not None:
+        rows.extend(
+            [
+                [
+                    "live workers",
+                    f"{pool['live_workers']}/{len(pool['workers'])}",
+                ],
+                ["probe interval (s)", pool["probe_interval_s"]],
+                ["probes", pool["probes"]],
+                ["deaths detected", pool["deaths_detected"]],
+                ["respawns", pool["respawns"]],
+            ]
+        )
+        for worker in pool["workers"]:
+            rows.append(
+                [
+                    f"worker {worker['slot']}",
+                    f"pid {worker['pid']} "
+                    f"{'alive' if worker['alive'] else 'dead'}",
+                ]
+            )
+    for shard, state in snapshot.get("breakers", {}).items():
+        rows.append([f"breaker shard {shard}", state])
+    print(format_table(["property", "value"], rows, title="Node health"))
+    return 0 if snapshot["healthy"] else 1
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.core.report import ReportOptions, characterization_report
 
@@ -640,6 +688,19 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--dry-run", action="store_true",
                        help="print the fault schedule and exit")
     chaos.set_defaults(handler=cmd_chaos)
+
+    health = subparsers.add_parser(
+        "health",
+        help="serve warm-up queries and print the node's liveness "
+        "snapshot (worker probes, respawns, breaker states)",
+    )
+    health.add_argument("--partitions", type=int, default=2)
+    health.add_argument("--queries", type=int, default=3,
+                        help="warm-up queries before the snapshot")
+    health.add_argument("--breakers", action="store_true",
+                        help="configure circuit breakers so per-shard "
+                        "states appear in the snapshot")
+    health.set_defaults(handler=cmd_health)
 
     report = subparsers.add_parser(
         "report", help="full Markdown characterization report"

@@ -63,12 +63,19 @@ class ExecutionConfig:
         :mod:`multiprocessing` start method for the process backend.
         ``None`` picks ``"fork"`` when the platform offers it (cheapest
         attach) and ``"spawn"`` otherwise.
+    probe_interval_s:
+        Liveness-probe period of the process pool's health monitor: a
+        worker killed between dispatches is detected and respawned
+        within one interval.  ``None`` disables background probing
+        (the pre-dispatch liveness check still runs).  Ignored by the
+        thread backend.
     """
 
     backend: str = "threads"
     workers: Optional[int] = None
     batch_size: int = DEFAULT_BATCH_SIZE
     start_method: Optional[str] = None
+    probe_interval_s: Optional[float] = 0.25
 
     def __post_init__(self) -> None:
         if self.backend not in EXECUTION_BACKENDS:
@@ -84,6 +91,8 @@ class ExecutionConfig:
             raise ValueError(
                 f"unknown start_method {self.start_method!r}"
             )
+        if self.probe_interval_s is not None and self.probe_interval_s < 0:
+            raise ValueError("probe_interval_s must be non-negative")
 
     @property
     def use_processes(self) -> bool:

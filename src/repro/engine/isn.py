@@ -56,6 +56,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Linear bucket edges for the coverage histogram (fractions of shards).
 COVERAGE_BUCKETS = tuple(i / 20.0 for i in range(21))
 
+#: Crash re-dispatches per batch-execution chunk: a worker death moves
+#: the chunk to a healthy worker instead of failing the whole batch.
+_BATCH_CRASH_RETRIES = 2
+
 #: Bucket edges for the admission-queue-depth histogram (queries waiting).
 QUEUE_DEPTH_BUCKETS = tuple(float(i) for i in range(0, 65, 4))
 
@@ -289,6 +293,7 @@ class IndexServingNode:
                 ),
                 metrics=metrics,
                 start_method=self._execution.start_method,
+                probe_interval_s=self._execution.probe_interval_s,
             )
         self._closed = False
 
@@ -326,6 +331,37 @@ class IndexServingNode:
     def fault_injector(self) -> Optional[FaultInjector]:
         """The active chaos injector (None when no fault plan)."""
         return self._faults
+
+    def health(self) -> Dict:
+        """Liveness view of the node (JSON-friendly).
+
+        Always reports the backend and partition count; on the process
+        backend it folds in the worker pool's probe snapshot (live
+        workers, deaths detected, respawns), and with circuit breakers
+        configured, each shard breaker's current state.  This is the
+        surface :meth:`SearchService.health <repro.engine.service.
+        SearchService.health>` and the ``repro health`` CLI read.
+        """
+        snapshot: Dict = {
+            "backend": self._execution.backend,
+            "partitions": self.num_partitions,
+            "closed": self._closed,
+            "healthy": not self._closed,
+        }
+        if self._process_pool is not None:
+            pool = self._process_pool.health_snapshot()
+            snapshot["pool"] = pool
+            snapshot["healthy"] = (
+                snapshot["healthy"]
+                and pool["live_workers"] == len(pool["workers"])
+            )
+        if self._breakers is not None:
+            now = time.perf_counter()
+            snapshot["breakers"] = {
+                str(shard): self._breakers.breaker(shard).state(now).name
+                for shard in range(self.num_partitions)
+            }
+        return snapshot
 
     @property
     def _tracing(self) -> bool:
@@ -524,6 +560,8 @@ class IndexServingNode:
             (position, shard) for position in pending for shard in range(n)
         ]
         if self._process_pool is not None:
+            from repro.engine.mp import WorkerCrashError
+
             batch = self._execution.batch_size
             dispatches = []
             for lo in range(0, len(items), batch):
@@ -535,13 +573,22 @@ class IndexServingNode:
                             [
                                 (shard, parsed[position])
                                 for position, shard in chunk
-                            ]
+                            ],
+                            crash_retries=_BATCH_CRASH_RETRIES,
                         ),
                     )
                 )
             for chunk, future in dispatches:
+                try:
+                    replies = future.result()
+                except WorkerCrashError:
+                    # Even the retries died.  Only the queries with an
+                    # item in flight on the dead worker lose that shard
+                    # (their coverage drops below 1.0); every other
+                    # dispatch of this batch proceeds untouched.
+                    continue
                 for (position, _), (shard, result, start, end) in zip(
-                    chunk, future.result()
+                    chunk, replies
                 ):
                     answered[position].append(
                         (shard, "primary", result, start, end)

@@ -60,6 +60,7 @@ from repro.search.strategy import TraversalStrategy
 from repro.search.topk import SearchHit
 
 __all__ = [
+    "DEFAULT_PROBE_INTERVAL_S",
     "ProcessShardPool",
     "WorkerCrashError",
     "WorkerOptions",
@@ -72,9 +73,17 @@ WorkItem = Tuple[int, ParsedQuery]
 #: terminating it.
 _SHUTDOWN_GRACE_S = 2.0
 
+#: How long a draining ``close()`` waits for dispatchers to finish the
+#: queued work before falling back to the hard path.
+_DRAIN_GRACE_S = 30.0
+
 #: Consecutive startup failures after which the pool stops respawning a
 #: slot and surfaces the startup error instead of spinning.
 _MAX_STARTUP_FAILURES = 3
+
+#: Default liveness-probe period: a SIGKILLed worker is detected and
+#: respawned within one interval even if no dispatch touches it.
+DEFAULT_PROBE_INTERVAL_S = 0.25
 
 _SHUTDOWN = object()
 
@@ -247,6 +256,13 @@ class _Task:
     items: List[WorkItem]
     future: Future
     single: bool
+    #: Remaining crash re-dispatches: a batch whose worker dies is put
+    #: back on the shared queue (a healthy worker picks it up) this
+    #: many times before the failure is surfaced.
+    retries: int = 0
+    #: Whether ``set_running_or_notify_cancel`` already ran — a retried
+    #: task's future is already RUNNING and must not be re-armed.
+    started: bool = False
 
 
 @dataclass
@@ -274,6 +290,12 @@ class ProcessShardPool:
         Optional parent registry that worker counter deltas merge into.
     start_method:
         ``multiprocessing`` start method; default prefers ``fork``.
+    probe_interval_s:
+        Liveness-probe period for the background health monitor.  A
+        worker that dies *between* dispatches (SIGKILL, OOM, segfault)
+        is detected and respawned within one interval instead of on the
+        next dispatch.  ``None`` (or ``0``) disables the monitor; the
+        cheap pre-dispatch ``is_alive`` check still runs.
     """
 
     def __init__(
@@ -284,9 +306,12 @@ class ProcessShardPool:
         options: WorkerOptions,
         metrics: Optional[MetricsRegistry] = None,
         start_method: Optional[str] = None,
+        probe_interval_s: Optional[float] = DEFAULT_PROBE_INTERVAL_S,
     ):
         if workers <= 0:
             raise ValueError("workers must be positive")
+        if probe_interval_s is not None and probe_interval_s < 0:
+            raise ValueError("probe_interval_s must be non-negative")
         self._spec = spec
         self._options = options
         self._metrics = metrics
@@ -300,6 +325,15 @@ class ProcessShardPool:
         self._tasks: "queue.SimpleQueue[object]" = queue.SimpleQueue()
         self._lock = threading.Lock()
         self._closed = False
+        self._probe_interval_s = (
+            probe_interval_s if probe_interval_s else None
+        )
+        self._health_stats = {
+            "probes": 0,
+            "deaths_detected": 0,
+            "respawns": 0,
+        }
+        self._health_stop = threading.Event()
         # Start every process before blocking on any handshake so the
         # (possibly slow, under spawn) attaches overlap.
         self._workers: List[_WorkerHandle] = [
@@ -316,6 +350,14 @@ class ProcessShardPool:
         ]
         for thread in self._dispatchers:
             thread.start()
+        self._health_thread: Optional[threading.Thread] = None
+        if self._probe_interval_s is not None:
+            self._health_thread = threading.Thread(
+                target=self._health_loop,
+                name="isn-mp-health",
+                daemon=True,
+            )
+            self._health_thread.start()
 
     @property
     def num_workers(self) -> int:
@@ -340,24 +382,41 @@ class ProcessShardPool:
         """
         return self._enqueue([(shard_id, query)], single=True)
 
-    def submit_batch(self, items: List[WorkItem]) -> Future:
+    def submit_batch(
+        self, items: List[WorkItem], *, crash_retries: int = 0
+    ) -> Future:
         """Dispatch a batch of work items in one IPC round-trip.
 
         The future resolves to a list of
         ``(shard_id, SearchResult, start, end)`` tuples in item order.
+        ``crash_retries`` re-dispatches the whole batch to a healthy
+        worker that many times should the serving worker die mid-batch
+        (the work is an idempotent read); only after the budget is
+        exhausted does the future fail with
+        :class:`WorkerCrashError` naming exactly this batch's shards.
         """
+        if crash_retries < 0:
+            raise ValueError("crash_retries must be non-negative")
         if not items:
             future: Future = Future()
             future.set_result([])
             return future
-        return self._enqueue(list(items), single=False)
+        return self._enqueue(
+            list(items), single=False, retries=crash_retries
+        )
 
-    def _enqueue(self, items: List[WorkItem], single: bool) -> Future:
+    def _enqueue(
+        self, items: List[WorkItem], single: bool, retries: int = 0
+    ) -> Future:
         with self._lock:
             if self._closed:
                 raise RuntimeError("ProcessShardPool is closed")
         future: Future = Future()
-        self._tasks.put(_Task(items=items, future=future, single=single))
+        self._tasks.put(
+            _Task(
+                items=items, future=future, single=single, retries=retries
+            )
+        )
         return future
 
     # ------------------------------------------------------------------
@@ -388,7 +447,16 @@ class ProcessShardPool:
         handle.startup_failures = 0
 
     def _respawn(self, slot: int, failed_handle: _WorkerHandle) -> None:
-        """Replace a dead worker (the self-healing half of the pool)."""
+        """Replace a dead worker (the self-healing half of the pool).
+
+        Idempotent per handle: the dispatcher (on a mid-dispatch EOF)
+        and the health monitor (on a failed liveness probe) may both
+        notice the same death; whichever serializes second sees the
+        replacement already installed and backs off.
+        """
+        with self._lock:
+            if self._closed or self._workers[slot] is not failed_handle:
+                return
         try:
             failed_handle.conn.close()
         except OSError:
@@ -397,7 +465,7 @@ class ProcessShardPool:
             failed_handle.process.terminate()
         failed_handle.process.join(timeout=_SHUTDOWN_GRACE_S)
         with self._lock:
-            if self._closed:
+            if self._closed or self._workers[slot] is not failed_handle:
                 return
             replacement = self._spawn(slot)
             replacement.startup_failures = (
@@ -405,6 +473,79 @@ class ProcessShardPool:
                 + (0 if failed_handle.ready else 1)
             )
             self._workers[slot] = replacement
+            self._health_stats["respawns"] += 1
+        if self._metrics is not None:
+            self._metrics.counter("health.respawns").add(1)
+
+    # ------------------------------------------------------------------
+    # health checking
+
+    def _health_loop(self) -> None:
+        while not self._health_stop.wait(self._probe_interval_s):
+            self.probe()
+
+    def probe(self) -> Dict[str, Any]:
+        """One liveness sweep: respawn dead workers, return a snapshot.
+
+        The background monitor calls this every ``probe_interval_s``;
+        it is public so health endpoints and tests can force a sweep.
+        """
+        with self._lock:
+            closed = self._closed
+            handles = list(self._workers)
+        if closed:
+            return self.health_snapshot()
+        deaths = 0
+        for slot, handle in enumerate(handles):
+            if handle.process.is_alive():
+                continue
+            deaths += 1
+            # A crash-looping worker is left down once the startup
+            # budget is spent — the dispatch path surfaces the typed
+            # giving-up error; endlessly respawning would just spin.
+            if handle.startup_failures < _MAX_STARTUP_FAILURES:
+                self._respawn(slot, handle)
+        with self._lock:
+            self._health_stats["probes"] += 1
+            self._health_stats["deaths_detected"] += deaths
+        if self._metrics is not None:
+            self._metrics.counter("health.probes").add(1)
+            if deaths:
+                self._metrics.counter("health.worker_deaths").add(deaths)
+            self._metrics.gauge("health.live_workers").set(
+                self.live_workers()
+            )
+        return self.health_snapshot()
+
+    def live_workers(self) -> int:
+        """Workers currently alive (after any respawns)."""
+        with self._lock:
+            return sum(
+                1 for handle in self._workers if handle.process.is_alive()
+            )
+
+    def health_snapshot(self) -> Dict[str, Any]:
+        """Point-in-time liveness view of the pool (JSON-friendly)."""
+        with self._lock:
+            workers = [
+                {
+                    "slot": slot,
+                    "pid": handle.process.pid,
+                    "alive": handle.process.is_alive(),
+                    "ready": handle.ready,
+                    "startup_failures": handle.startup_failures,
+                }
+                for slot, handle in enumerate(self._workers)
+            ]
+            stats = dict(self._health_stats)
+            closed = self._closed
+        return {
+            "workers": workers,
+            "live_workers": sum(1 for w in workers if w["alive"]),
+            "probe_interval_s": self._probe_interval_s,
+            "closed": closed,
+            **stats,
+        }
 
     # ------------------------------------------------------------------
     # dispatch
@@ -415,10 +556,18 @@ class ProcessShardPool:
             if task is _SHUTDOWN:
                 return
             assert isinstance(task, _Task)
-            if not task.future.set_running_or_notify_cancel():
-                continue
+            if not task.started:
+                if not task.future.set_running_or_notify_cancel():
+                    continue
+                task.started = True
             with self._lock:
                 handle = self._workers[slot]
+            if handle.ready and not handle.process.is_alive():
+                # Cheap pre-dispatch liveness check: respawn instead of
+                # burning this task discovering an already-dead worker.
+                self._respawn(slot, handle)
+                with self._lock:
+                    handle = self._workers[slot]
             if handle.startup_failures >= _MAX_STARTUP_FAILURES:
                 task.future.set_exception(
                     WorkerCrashError(
@@ -434,21 +583,41 @@ class ProcessShardPool:
                 payloads, deltas = handle.conn.recv()
             except (EOFError, OSError) as exc:
                 shards = [shard for shard, _ in task.items]
-                task.future.set_exception(
+                self._crash_task(
+                    task,
                     WorkerCrashError(
                         f"worker serving shards {shards} died: {exc!r}",
                         shards=shards,
-                    )
+                    ),
                 )
                 self._respawn(slot, handle)
                 continue
             except WorkerCrashError as exc:
-                task.future.set_exception(exc)
+                self._crash_task(task, exc)
                 self._respawn(slot, handle)
                 continue
             if deltas and self._metrics is not None:
                 self._metrics.merge_counter_deltas(deltas)
             self._finish(task, payloads)
+
+    def _crash_task(self, task: _Task, error: WorkerCrashError) -> None:
+        """Fail or re-dispatch a task whose serving worker died.
+
+        A task with retry budget goes back on the shared queue, where
+        any dispatcher — typically one with a healthy worker, or this
+        slot once its replacement is up — picks it up; the items are
+        idempotent reads, so a re-dispatch cannot double-count results.
+        Only when the budget is spent (or the pool is closing) is the
+        failure surfaced, attributed to exactly this dispatch's shards.
+        """
+        if task.retries > 0:
+            with self._lock:
+                closing = self._closed
+            if not closing:
+                task.retries -= 1
+                self._tasks.put(task)
+                return
+        task.future.set_exception(error)
 
     def _finish(self, task: _Task, payloads: List[Tuple[str, Any]]) -> None:
         results = []
@@ -469,16 +638,44 @@ class ProcessShardPool:
     # ------------------------------------------------------------------
     # shutdown
 
-    def close(self) -> None:
-        """Stop dispatchers, shut workers down, release pipes (idempotent)."""
+    def close(self, drain: bool = True) -> None:
+        """Stop dispatchers, shut workers down, release pipes (idempotent).
+
+        With ``drain=True`` (the default) the pool finishes everything
+        already queued before shutting down: the shutdown sentinels
+        queue *behind* the pending tasks, so every accepted future
+        resolves — a graceful drain, bounded by a generous grace.  With
+        ``drain=False`` queued-but-undispatched tasks fail fast with a
+        typed :class:`WorkerCrashError` instead of being served.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
+        self._health_stop.set()
+        if not drain:
+            while True:
+                try:
+                    task = self._tasks.get_nowait()
+                except queue.Empty:
+                    break
+                if not isinstance(task, _Task):
+                    continue
+                if task.started or task.future.set_running_or_notify_cancel():
+                    task.future.set_exception(
+                        WorkerCrashError(
+                            "ProcessShardPool closed before dispatch",
+                            shards=[shard for shard, _ in task.items],
+                        )
+                    )
         for _ in self._dispatchers:
             self._tasks.put(_SHUTDOWN)
         for thread in self._dispatchers:
-            thread.join(timeout=_SHUTDOWN_GRACE_S)
+            thread.join(
+                timeout=_DRAIN_GRACE_S if drain else _SHUTDOWN_GRACE_S
+            )
+        if self._health_thread is not None:
+            self._health_thread.join(timeout=_SHUTDOWN_GRACE_S)
         for handle in self._workers:
             try:
                 handle.conn.send(None)

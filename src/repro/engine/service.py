@@ -262,6 +262,16 @@ class SearchService:
             )
         return self._positional
 
+    def health(self) -> dict:
+        """Liveness snapshot of the serving node.
+
+        Delegates to :meth:`IndexServingNode.health
+        <repro.engine.isn.IndexServingNode.health>`: backend, partition
+        count, worker-pool probe state (process backend), and breaker
+        states when configured.
+        """
+        return self.isn.health()
+
     def close(self) -> None:
         """Deterministically release the ISN's execution resources.
 

@@ -21,6 +21,11 @@ harness that proves it works:
   seedable :class:`FaultPlan` of shard slowdowns, crash/restart
   windows, and error bursts, interpreted by both execution paths, plus
   a native wall-clock :class:`FaultInjector`.
+- **Fault-space exploration** (:mod:`repro.resilience.explore`) — a
+  deterministic enumerator of seeded fault schedules (fault kinds ×
+  timing × target shards) driven through either execution path while
+  checking the recovery invariants above; ``python -m
+  repro.resilience.explore`` runs it from the command line.
 
 Like :class:`~repro.engine.hedging.HedgingPolicy`, every policy object
 here is declarative and interpreted by *both* execution paths — the
@@ -67,4 +72,38 @@ __all__ = [
     "ErrorBurst",
     "FaultInjector",
     "InjectedFault",
+    "ExplorationReport",
+    "ScheduleResult",
+    "enumerate_fault_plans",
+    "explore",
+    "explore_native",
+    "explore_des",
 ]
+
+#: Explorer names resolved lazily (PEP 562) so ``python -m
+#: repro.resilience.explore`` does not import the module twice through
+#: the package (runpy's double-import warning).  ``explore`` itself
+#: resolves to the submodule; call ``explore.explore(...)`` or use the
+#: per-backend entry points re-exported here.
+_EXPLORE_EXPORTS = frozenset(
+    {
+        "ExplorationReport",
+        "ScheduleResult",
+        "enumerate_fault_plans",
+        "explore_native",
+        "explore_des",
+    }
+)
+
+
+def __getattr__(name):
+    if name == "explore" or name in _EXPLORE_EXPORTS:
+        import importlib
+
+        module = importlib.import_module("repro.resilience.explore")
+        if name == "explore":
+            return module
+        return getattr(module, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

@@ -1,0 +1,629 @@
+"""Deterministic fault-space exploration for both execution paths.
+
+Chaos testing that only ever replays one hand-written scenario proves
+little: the failures that break a serving tier live in the *product*
+space of fault kinds × timing × targets.  This module enumerates that
+space deterministically — every schedule is derived from ``(seed,
+index)``, so a violating schedule replays exactly — and drives each
+schedule through an execution path while checking the recovery
+invariants the resilience layer promises:
+
+- **bounded wall-clock** — a schedule finishes within its budget; no
+  fault combination may hang the serving path;
+- **typed outcomes only** — every query returns an ``IsnResponse`` /
+  ``ShedResponse`` (native) or a complete/typed-shed record (DES);
+  an escaped exception of any kind is a violation;
+- **coverage accounting** — degraded coverage appears only when the
+  plan actually injects faults, and (DES) shard-failure counts stay on
+  the shards the plan targets;
+- **recovery** — once the last fault window closes and breakers have
+  had their recovery time, answers return to full coverage and are
+  bit-identical (doc ids *and* float scores, native) to the fault-free
+  baseline;
+- **inert control** — the empty schedule in every combo cycle must be
+  indistinguishable from running with no plan at all.
+
+The same :class:`~repro.resilience.faults.FaultPlan` vocabulary drives
+both interpreters: the native ISN against the wall clock
+(:func:`explore_native`) and the DES cluster broker against simulated
+time (:func:`explore_des`).  ``python -m repro.resilience.explore``
+runs either or both and exits non-zero on any violation.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.resilience.faults import (
+    ErrorBurst,
+    FaultPlan,
+    ShardCrash,
+    ShardSlowdown,
+)
+
+__all__ = [
+    "FAULT_COMBOS",
+    "ScheduleResult",
+    "ExplorationReport",
+    "enumerate_fault_plans",
+    "explore_native",
+    "explore_des",
+    "explore",
+]
+
+#: Fault-kind combinations cycled over the schedule index.  The empty
+#: combo is the control: an inert plan that must be indistinguishable
+#: from no plan at all.
+FAULT_COMBOS: Tuple[Tuple[str, ...], ...] = (
+    (),
+    ("crash",),
+    ("slowdown",),
+    ("errors",),
+    ("crash", "slowdown"),
+    ("crash", "errors"),
+    ("slowdown", "errors"),
+    ("crash", "slowdown", "errors"),
+)
+
+#: Wall-clock budget per schedule; exceeding it is the "no hangs"
+#: invariant violation.  Generous: healthy schedules finish in well
+#: under a second.
+DEFAULT_SCHEDULE_BUDGET_S = 30.0
+
+
+def _schedule_rng(seed: int, index: int) -> random.Random:
+    """The private RNG of schedule ``index`` — replayable in isolation."""
+    return random.Random(f"fault-space:{seed}:{index}")
+
+
+def _window(
+    rng: random.Random, horizon_s: float
+) -> Tuple[float, float]:
+    """A (start, duration) pair fully inside ``[0, horizon_s)``."""
+    start = rng.uniform(0.0, 0.4 * horizon_s)
+    duration = rng.uniform(0.2 * horizon_s, 0.95 * horizon_s - start)
+    return start, duration
+
+
+def enumerate_fault_plans(
+    num_schedules: int,
+    *,
+    shards: int,
+    fault_horizon_s: float,
+    seed: int = 0,
+) -> List[FaultPlan]:
+    """Deterministically enumerate ``num_schedules`` fault schedules.
+
+    Schedule ``index`` cycles through :data:`FAULT_COMBOS` for its
+    fault kinds, rotates the targeted shard, and draws window timing
+    and severities from a private ``(seed, index)`` RNG — so any
+    schedule can be regenerated (and a failure replayed) without
+    enumerating its predecessors.  Every window closes before
+    ``fault_horizon_s``, which is what makes the post-fault recovery
+    invariants checkable.
+    """
+    if num_schedules <= 0:
+        raise ValueError("num_schedules must be positive")
+    if shards <= 0:
+        raise ValueError("shards must be positive")
+    if fault_horizon_s <= 0:
+        raise ValueError("fault_horizon_s must be positive")
+    plans: List[FaultPlan] = []
+    for index in range(num_schedules):
+        rng = _schedule_rng(seed, index)
+        combo = FAULT_COMBOS[index % len(FAULT_COMBOS)]
+        crashes: List[ShardCrash] = []
+        slowdowns: List[ShardSlowdown] = []
+        bursts: List[ErrorBurst] = []
+        for offset, kind in enumerate(combo):
+            shard = (index + offset) % shards
+            start, duration = _window(rng, fault_horizon_s)
+            if kind == "crash":
+                crashes.append(
+                    ShardCrash(
+                        shard=shard, start_s=start, duration_s=duration
+                    )
+                )
+            elif kind == "slowdown":
+                slowdowns.append(
+                    ShardSlowdown(
+                        shard=shard,
+                        start_s=start,
+                        duration_s=duration,
+                        factor=rng.uniform(1.5, 4.0),
+                    )
+                )
+            else:
+                bursts.append(
+                    ErrorBurst(
+                        shard=shard,
+                        start_s=start,
+                        duration_s=duration,
+                        error_rate=rng.uniform(0.3, 0.9),
+                    )
+                )
+        plans.append(
+            FaultPlan(
+                crashes=tuple(crashes),
+                slowdowns=tuple(slowdowns),
+                error_bursts=tuple(bursts),
+                seed=seed + index,
+            )
+        )
+    return plans
+
+
+def _plan_shards(plan: FaultPlan) -> frozenset:
+    """The shard indices a plan touches."""
+    faults = plan.crashes + plan.slowdowns + plan.error_bursts
+    return frozenset(fault.shard for fault in faults)
+
+
+def _plan_end_s(plan: FaultPlan) -> float:
+    """When the last fault window closes (0.0 for an inert plan)."""
+    faults = plan.crashes + plan.slowdowns + plan.error_bursts
+    return max((fault.end_s for fault in faults), default=0.0)
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of one schedule on one backend."""
+
+    index: int
+    backend: str
+    description: Tuple[str, ...]
+    violations: Tuple[str, ...]
+    elapsed_s: float
+    faults_injected: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+@dataclass(frozen=True)
+class ExplorationReport:
+    """All schedule outcomes of one exploration run."""
+
+    backend: str
+    seed: int
+    schedules: Tuple[ScheduleResult, ...]
+
+    @property
+    def num_schedules(self) -> int:
+        return len(self.schedules)
+
+    @property
+    def ok(self) -> bool:
+        return all(schedule.ok for schedule in self.schedules)
+
+    def violations(self) -> List[str]:
+        """Flat ``schedule N (backend): violation`` lines."""
+        lines = []
+        for schedule in self.schedules:
+            for violation in schedule.violations:
+                lines.append(
+                    f"schedule {schedule.index} ({schedule.backend}): "
+                    f"{violation}"
+                )
+        return lines
+
+    def summary(self) -> List[str]:
+        """Human-readable run summary, one line per headline fact."""
+        injected = sum(s.faults_injected for s in self.schedules)
+        elapsed = sum(s.elapsed_s for s in self.schedules)
+        lines = [
+            f"{self.num_schedules} schedules explored on {self.backend} "
+            f"(seed {self.seed}) in {elapsed:.1f}s",
+            f"faults injected: {injected}",
+        ]
+        bad = self.violations()
+        if bad:
+            lines.append(f"VIOLATIONS ({len(bad)}):")
+            lines.extend(f"  {line}" for line in bad)
+        else:
+            lines.append("all recovery invariants held")
+        return lines
+
+
+def _merge_reports(
+    reports: Sequence[ExplorationReport],
+) -> ExplorationReport:
+    schedules: List[ScheduleResult] = []
+    for report in reports:
+        schedules.extend(report.schedules)
+    return ExplorationReport(
+        backend="+".join(report.backend for report in reports),
+        seed=reports[0].seed,
+        schedules=tuple(schedules),
+    )
+
+
+# ---------------------------------------------------------------------------
+# native backend
+
+
+def _hit_pairs(response) -> Tuple[Tuple[int, float], ...]:
+    """(doc id, raw float score) pairs — the bit-identity currency."""
+    return tuple((hit.doc_id, hit.score) for hit in response.hits)
+
+
+def explore_native(
+    num_schedules: int = 16,
+    *,
+    shards: int = 3,
+    seed: int = 0,
+    fault_horizon_s: float = 0.12,
+    num_documents: int = 120,
+    num_queries: int = 5,
+    schedule_budget_s: float = DEFAULT_SCHEDULE_BUDGET_S,
+) -> ExplorationReport:
+    """Explore the fault space against the native (wall-clock) engine.
+
+    One tiny corpus and partitioned index are built once; each schedule
+    gets a fresh :class:`~repro.engine.isn.IndexServingNode` with the
+    schedule's plan plus circuit breakers, is queried repeatedly while
+    the fault windows are live, then — after the windows close and the
+    breakers' recovery time passes — must answer the probe queries
+    bit-identically to the fault-free baseline.
+    """
+    from repro.corpus.generator import CorpusConfig, CorpusGenerator
+    from repro.corpus.querylog import QueryLogConfig, QueryLogGenerator
+    from repro.engine.isn import IndexServingNode
+    from repro.index.partitioner import partition_index
+    from repro.resilience.breaker import BreakerConfig
+
+    recovery_s = max(0.02, fault_horizon_s / 3.0)
+    breakers = BreakerConfig(
+        failure_threshold=2, recovery_time_s=recovery_s
+    )
+    generator = CorpusGenerator(
+        CorpusConfig(num_documents=num_documents, seed=seed)
+    )
+    collection = generator.generate()
+    partitioned = partition_index(collection, shards)
+    log = QueryLogGenerator(
+        generator.vocabulary,
+        QueryLogConfig(num_unique_queries=max(10, num_queries), seed=seed + 1),
+    ).generate()
+    texts = [query.text for query in list(log)[:num_queries]]
+
+    with IndexServingNode(partitioned) as baseline_node:
+        baseline = [
+            _hit_pairs(baseline_node.execute(text, k=5)) for text in texts
+        ]
+
+    plans = enumerate_fault_plans(
+        num_schedules,
+        shards=shards,
+        fault_horizon_s=fault_horizon_s,
+        seed=seed,
+    )
+    schedules: List[ScheduleResult] = []
+    for index, plan in enumerate(plans):
+        violations: List[str] = []
+        injected = 0
+        started = time.perf_counter()
+        with IndexServingNode(
+            partitioned, breakers=breakers, faults=plan
+        ) as node:
+            injector = node.fault_injector
+            if injector is not None:
+                injector.start()
+            during = []
+            try:
+                # Query continuously while any window can be live; cap
+                # the passes so a pathological schedule cannot spin.
+                for _ in range(400):
+                    if (
+                        injector is None
+                        or injector.elapsed() >= fault_horizon_s
+                    ):
+                        break
+                    for text in texts:
+                        during.append(node.execute(text, k=5))
+                if injector is None:
+                    during.extend(node.execute(text, k=5) for text in texts)
+                else:
+                    # Let the last window close and every tripped
+                    # breaker reach its half-open probe.
+                    remaining = (
+                        _plan_end_s(plan)
+                        + recovery_s
+                        + 0.02
+                        - injector.elapsed()
+                    )
+                    if remaining > 0:
+                        time.sleep(remaining)
+                after = [node.execute(text, k=5) for text in texts]
+            except Exception as error:  # noqa: BLE001 — the invariant
+                violations.append(
+                    "untyped escape: "
+                    f"{type(error).__name__}: {error}"
+                )
+                after = []
+            if injector is not None:
+                injected = (
+                    injector.injected_crashes
+                    + injector.injected_errors
+                    + injector.injected_slowdowns
+                )
+        elapsed = time.perf_counter() - started
+
+        if elapsed > schedule_budget_s:
+            violations.append(
+                f"wall-clock budget exceeded: {elapsed:.1f}s "
+                f"> {schedule_budget_s:.1f}s"
+            )
+        degraded = [r for r in during if r.coverage < 1.0]
+        if degraded and not plan.enabled:
+            violations.append(
+                f"{len(degraded)} degraded answers under an inert plan"
+            )
+        if degraded and plan.enabled and injected == 0:
+            violations.append(
+                "degraded coverage without any injected fault"
+            )
+        for response in during:
+            if not 0.0 <= response.coverage <= 1.0:
+                violations.append(
+                    f"coverage out of range: {response.coverage}"
+                )
+                break
+        if not plan.enabled:
+            for response, want in zip(during, baseline * 400):
+                if _hit_pairs(response) != want:
+                    violations.append(
+                        "inert plan not bit-identical to baseline"
+                    )
+                    break
+        for position, response in enumerate(after):
+            if response.coverage < 1.0:
+                violations.append(
+                    f"post-fault coverage {response.coverage:.2f} < 1 "
+                    f"(query {position}) — breaker did not recover"
+                )
+                break
+            if _hit_pairs(response) != baseline[position]:
+                violations.append(
+                    f"post-fault answer differs from baseline "
+                    f"(query {position})"
+                )
+                break
+        schedules.append(
+            ScheduleResult(
+                index=index,
+                backend="native",
+                description=tuple(plan.describe()),
+                violations=tuple(violations),
+                elapsed_s=elapsed,
+                faults_injected=injected,
+            )
+        )
+    return ExplorationReport(
+        backend="native", seed=seed, schedules=tuple(schedules)
+    )
+
+
+# ---------------------------------------------------------------------------
+# DES backend
+
+
+def explore_des(
+    num_schedules: int = 100,
+    *,
+    shards: int = 3,
+    seed: int = 0,
+    fault_horizon_s: float = 0.6,
+    rate_qps: float = 60.0,
+    schedule_budget_s: float = DEFAULT_SCHEDULE_BUDGET_S,
+) -> ExplorationReport:
+    """Explore the fault space against the DES cluster broker.
+
+    Each schedule simulates a ``shards``-server fan-out cluster with
+    breakers and a per-query deadline under the schedule's plan, long
+    enough that the run extends well past the last fault window; the
+    tail of the run must be fault-free.  The inert control schedule
+    must be bit-identical (per-query receive times) to the plan-free
+    baseline with the same seed.
+    """
+    from repro.api import BreakerConfig, ClusterModel, HedgingPolicy
+
+    deadline_s = 0.3
+    recovery_s = max(0.05, fault_horizon_s / 4.0)
+    # Long enough that the post-recovery tail is a meaningful fraction
+    # of the run.
+    run_s = 3.0 * (fault_horizon_s + recovery_s + deadline_s)
+    num_queries = max(50, int(rate_qps * run_s))
+
+    def build(plan: Optional[FaultPlan]) -> ClusterModel:
+        return ClusterModel(
+            num_servers=shards,
+            hedging=HedgingPolicy(deadline_s=deadline_s),
+            breakers=BreakerConfig(
+                failure_threshold=2, recovery_time_s=recovery_s
+            ),
+            faults=plan,
+        )
+
+    baseline = build(None).run(
+        rate_qps=rate_qps, num_queries=num_queries, seed=seed
+    )
+    if baseline.shed_count or any(
+        record.coverage < 1.0 for record in baseline.records
+    ):
+        raise ValueError(
+            "baseline DES run is not clean; lower rate_qps or raise "
+            "the deadline before exploring"
+        )
+    baseline_key = [
+        (record.query_id, record.client_receive)
+        for record in baseline.records
+    ]
+
+    plans = enumerate_fault_plans(
+        num_schedules,
+        shards=shards,
+        fault_horizon_s=fault_horizon_s,
+        seed=seed,
+    )
+    schedules: List[ScheduleResult] = []
+    for index, plan in enumerate(plans):
+        violations: List[str] = []
+        started = time.perf_counter()
+        try:
+            result = build(plan).run(
+                rate_qps=rate_qps, num_queries=num_queries, seed=seed
+            )
+        except Exception as error:  # noqa: BLE001 — the invariant
+            violations.append(
+                f"untyped escape: {type(error).__name__}: {error}"
+            )
+            result = None
+        elapsed = time.perf_counter() - started
+
+        injected = 0
+        if result is not None:
+            injected = sum(result.shard_failures)
+            if elapsed > schedule_budget_s:
+                violations.append(
+                    f"wall-clock budget exceeded: {elapsed:.1f}s "
+                    f"> {schedule_budget_s:.1f}s"
+                )
+            for record in result.records:
+                if record.shed and not record.shed_reason:
+                    violations.append(
+                        f"query {record.query_id} shed without a typed "
+                        "reason"
+                    )
+                    break
+                if not record.shed and not record.complete:
+                    violations.append(
+                        f"query {record.query_id} never completed"
+                    )
+                    break
+            touched = _plan_shards(plan)
+            failed = frozenset(
+                shard
+                for shard, count in enumerate(result.shard_failures)
+                if count
+            )
+            if not failed <= touched:
+                violations.append(
+                    f"failures on shards {sorted(failed - touched)} "
+                    f"outside the plan's targets {sorted(touched)}"
+                )
+            degraded = [
+                record
+                for record in result.records
+                if record.coverage < 1.0 or record.shed
+            ]
+            if degraded and not plan.enabled:
+                violations.append(
+                    f"{len(degraded)} degraded/shed queries under an "
+                    "inert plan"
+                )
+            if not plan.enabled:
+                key = [
+                    (record.query_id, record.client_receive)
+                    for record in result.records
+                ]
+                if key != baseline_key:
+                    violations.append(
+                        "inert plan not bit-identical to the seeded "
+                        "baseline"
+                    )
+            # Recovery: once the last window closed, breakers probed,
+            # and in-flight deadlines drained, answers are whole again.
+            quiet_after = (
+                _plan_end_s(plan) + recovery_s + deadline_s + 0.05
+            )
+            for record in result.records:
+                if record.client_send < quiet_after:
+                    continue
+                if record.shed or record.coverage < 1.0 or record.failures:
+                    violations.append(
+                        f"query {record.query_id} at "
+                        f"{record.client_send:.3f}s degraded after "
+                        f"faults closed at {quiet_after:.3f}s"
+                    )
+                    break
+        schedules.append(
+            ScheduleResult(
+                index=index,
+                backend="des",
+                description=tuple(plan.describe()),
+                violations=tuple(violations),
+                elapsed_s=elapsed,
+                faults_injected=injected,
+            )
+        )
+    return ExplorationReport(
+        backend="des", seed=seed, schedules=tuple(schedules)
+    )
+
+
+def explore(
+    num_schedules: int = 100,
+    *,
+    shards: int = 3,
+    seed: int = 0,
+    backends: Sequence[str] = ("native", "des"),
+) -> ExplorationReport:
+    """Run the explorer on the requested backends and merge the reports."""
+    reports: List[ExplorationReport] = []
+    for backend in backends:
+        if backend == "native":
+            reports.append(
+                explore_native(num_schedules, shards=shards, seed=seed)
+            )
+        elif backend == "des":
+            reports.append(
+                explore_des(num_schedules, shards=shards, seed=seed)
+            )
+        else:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose 'native' or 'des'"
+            )
+    if len(reports) == 1:
+        return reports[0]
+    return _merge_reports(reports)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI: explore the fault space, exit non-zero on violations."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="deterministic fault-space exploration"
+    )
+    parser.add_argument("--schedules", type=int, default=100)
+    parser.add_argument("--shards", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--backend",
+        choices=["native", "des", "both"],
+        default="both",
+    )
+    args = parser.parse_args(argv)
+    backends = (
+        ("native", "des") if args.backend == "both" else (args.backend,)
+    )
+    report = explore(
+        args.schedules,
+        shards=args.shards,
+        seed=args.seed,
+        backends=backends,
+    )
+    for line in report.summary():
+        print(line)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

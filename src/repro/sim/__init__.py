@@ -2,12 +2,21 @@
 
 A small, deterministic DES kernel: an event heap with a clock
 (:mod:`engine`), a FCFS multi-core resource (:mod:`resources`), named
-reproducible RNG streams (:mod:`random`), and network delay models
-(:mod:`network`).  The simulated search cluster in :mod:`repro.cluster`
-is built entirely on these primitives.
+reproducible RNG streams (:mod:`random`), network delay models
+(:mod:`network`), and replica failure/recovery processes
+(:mod:`failures`).  The simulated search cluster in
+:mod:`repro.cluster` is built entirely on these primitives.
 """
 
 from repro.sim.engine import Simulator
+from repro.sim.failures import (
+    SHED_REPLICA_CRASH,
+    FailureWindow,
+    MttfMttrFailures,
+    ReplicaFailureModel,
+    TraceFailures,
+    steady_state_availability,
+)
 from repro.sim.hiccups import HiccupConfig, HiccupSchedule
 from repro.sim.network import FixedDelay, LognormalDelay, NetworkModel, NoDelay
 from repro.sim.outages import FixedOutages, OutageSpec
@@ -26,4 +35,10 @@ __all__ = [
     "HiccupSchedule",
     "FixedOutages",
     "OutageSpec",
+    "ReplicaFailureModel",
+    "MttfMttrFailures",
+    "TraceFailures",
+    "FailureWindow",
+    "steady_state_availability",
+    "SHED_REPLICA_CRASH",
 ]

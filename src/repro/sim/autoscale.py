@@ -60,6 +60,7 @@ from repro.resilience.admission import (
 )
 from repro.servers.spec import ServerSpec
 from repro.sim.engine import Simulator
+from repro.sim.failures import SHED_REPLICA_CRASH, ReplicaFailureModel
 from repro.sim.random import RandomStreams
 
 
@@ -204,6 +205,13 @@ class AutoscaleConfig:
     server_imbalance_concentration: float = 60.0
     #: Optional PR 3 admission control in front of the broker.
     overload: Optional[OverloadPolicy] = None
+    #: Optional replica crash/recovery process (:mod:`repro.sim.failures`).
+    #: A crashed row fails its in-flight queries (typed
+    #: :data:`~repro.sim.failures.SHED_REPLICA_CRASH`, counted as SLO
+    #: misses), leaves the dispatchable set, and rejoins through the
+    #: ordinary ``warmup_s`` path once repaired.  ``None`` keeps the run
+    #: bit-identical to the pre-failure-model behaviour.
+    failures: Optional[ReplicaFailureModel] = None
 
     def __post_init__(self) -> None:
         if self.shards <= 0:
@@ -238,6 +246,11 @@ class AutoscaleQueryRecord:
         return self.shed_reason is None
 
     @property
+    def failed(self) -> bool:
+        """Dispatched but lost to a replica crash (vs. refused entry)."""
+        return self.shed_reason == SHED_REPLICA_CRASH
+
+    @property
     def latency(self) -> float:
         return self.client_receive - self.client_send
 
@@ -267,6 +280,9 @@ class AutoscaleResult:
     row_spans: Tuple[Tuple[float, float], ...]
     scale_up_events: int
     scale_down_events: int
+    #: Replica crash / recovery event counts (0 without a fault model).
+    replica_crashes: int = 0
+    replica_recoveries: int = 0
 
     @property
     def served_records(self) -> List[AutoscaleQueryRecord]:
@@ -274,7 +290,14 @@ class AutoscaleResult:
 
     @property
     def shed_count(self) -> int:
+        """Queries not served — admission sheds *and* crash failures."""
         return sum(1 for r in self.records if not r.served)
+
+    @property
+    def failed_count(self) -> int:
+        """Queries lost in flight to a replica crash (typed subset of
+        :attr:`shed_count`)."""
+        return sum(1 for r in self.records if r.failed)
 
     def latencies(self) -> np.ndarray:
         return np.asarray(
@@ -310,24 +333,58 @@ class AutoscaleResult:
 class _Row:
     """One provisioned replica row: a server per shard, plus lifecycle."""
 
-    __slots__ = ("servers", "launched_at", "ready_at", "retired_at")
+    __slots__ = (
+        "row_id",
+        "servers",
+        "launched_at",
+        "ready_at",
+        "retired_at",
+        "crashed",
+        "generation",
+        "inflight",
+    )
 
     def __init__(
         self,
+        row_id: int,
         servers: List[SimulatedServer],
         launched_at: float,
         ready_at: float,
     ) -> None:
+        self.row_id = row_id
         self.servers = servers
         self.launched_at = launched_at
         self.ready_at = ready_at
         self.retired_at: Optional[float] = None
+        self.crashed = False
+        #: Bumped on every recovery; names the fresh servers' streams.
+        self.generation = 0
+        #: In-flight query contexts with a shard on this row.  A dict
+        #: (not a set) so crash-time iteration follows insertion order —
+        #: set order would depend on object ids and break determinism.
+        self.inflight: Dict["_InFlightQuery", None] = {}
 
     def dispatchable(self, now: float) -> bool:
-        return self.retired_at is None and now >= self.ready_at
+        return (
+            self.retired_at is None
+            and not self.crashed
+            and now >= self.ready_at
+        )
 
     def outstanding(self) -> int:
         return sum(server.outstanding for server in self.servers)
+
+
+class _InFlightQuery:
+    """Book-keeping for one dispatched query's fan-out, so a replica
+    crash can fail exactly the queries it was serving."""
+
+    __slots__ = ("record", "handler_ids", "rows")
+
+    def __init__(self, record: AutoscaleQueryRecord) -> None:
+        self.record = record
+        self.handler_ids: List[int] = []
+        self.rows: List[_Row] = []
 
 
 def run_autoscaled_cluster(
@@ -371,6 +428,15 @@ def run_autoscaled_cluster(
     records: List[AutoscaleQueryRecord] = []
     completion_handlers: Dict[int, Callable[[QueryRecord], None]] = {}
 
+    def complete_server_record(rec: QueryRecord) -> None:
+        # Tolerant pop: a crashed replica's in-flight work has its
+        # handlers removed, but the already-scheduled core-bank events
+        # still fire on the abandoned server — those completions are
+        # stale and must be ignored, not KeyError.
+        handler = completion_handlers.pop(id(rec), None)
+        if handler is not None:
+            handler(rec)
+
     rows: List[_Row] = []
     rows_created = 0
     controller = (
@@ -396,34 +462,121 @@ def run_autoscaled_cluster(
         )
     }
 
+    failure_counters = {
+        name: (
+            metrics.counter(f"failures.{name}")
+            if metrics is not None and config.failures is not None
+            else None
+        )
+        for name in (
+            "replica_crashes",
+            "replica_recoveries",
+            "queries_failed",
+        )
+    }
+    failure_state = {"crashes": 0, "recoveries": 0}
+
     def bump(name: str, value: float = 1) -> None:
         if counters[name] is not None:
             counters[name].add(value)
+
+    def bump_failure(name: str) -> None:
+        if failure_counters[name] is not None:
+            failure_counters[name].add(1)
+
+    def make_servers(row_id: int, generation: int) -> List[SimulatedServer]:
+        # Generation 0 keeps the original stream names so a run without
+        # failures stays bit-identical to the pre-failure-model code.
+        suffix = f"-g{generation}" if generation else ""
+        return [
+            SimulatedServer(
+                sim,
+                config.spec,
+                config.partitioning,
+                imbalance_rng=streams.stream(
+                    f"imbalance-{shard}-{row_id}{suffix}"
+                ),
+                on_complete=complete_server_record,
+                metrics=metrics,
+            )
+            for shard in range(config.shards)
+        ]
 
     def launch_row(now: float) -> None:
         nonlocal rows_created
         row_id = rows_created
         rows_created += 1
-        servers = [
-            SimulatedServer(
-                sim,
-                config.spec,
-                config.partitioning,
-                imbalance_rng=streams.stream(f"imbalance-{shard}-{row_id}"),
-                on_complete=lambda rec: completion_handlers.pop(id(rec))(rec),
-                metrics=metrics,
-            )
-            for shard in range(config.shards)
-        ]
         ready_at = now + (config.warmup_s if now > 0.0 else 0.0)
-        rows.append(_Row(servers, launched_at=now, ready_at=ready_at))
+        row = _Row(
+            row_id,
+            make_servers(row_id, 0),
+            launched_at=now,
+            ready_at=ready_at,
+        )
+        rows.append(row)
         bump("replicas_launched")
+        if config.failures is not None:
+            schedule_next_crash(
+                row, config.failures.windows(row_id, now, streams)
+            )
 
     def provisioned_rows() -> List[_Row]:
         return [row for row in rows if row.retired_at is None]
 
     def active_rows(now: float) -> List[_Row]:
         return [row for row in rows if row.dispatchable(now)]
+
+    # ------------------------------------------------------------------
+    # Replica failure & recovery (repro.sim.failures).
+
+    def schedule_next_crash(row: _Row, windows) -> None:
+        for crash_at, repair_s in windows:
+            if crash_at >= horizon:
+                return
+            if crash_at <= sim.now:
+                continue  # defensive against ill-ordered trace windows
+            sim.schedule(crash_at, crash_row, row, repair_s, windows)
+            return
+
+    def crash_row(row: _Row, repair_s: float, windows) -> None:
+        if row.retired_at is not None:
+            return
+        row.crashed = True
+        failure_state["crashes"] += 1
+        bump_failure("replica_crashes")
+        # Fail exactly the queries with a shard in flight on this row.
+        # Their other-shard handlers are removed too: a fork-join query
+        # missing one shard cannot complete.
+        for ctx in list(row.inflight):
+            for handler_id in ctx.handler_ids:
+                completion_handlers.pop(handler_id, None)
+            for other in ctx.rows:
+                other.inflight.pop(ctx, None)
+            ctx.record.shed_reason = SHED_REPLICA_CRASH
+            records.append(ctx.record)
+            bump_failure("queries_failed")
+            if controller is not None:
+                # The slot the lost query held frees now; its occupancy
+                # time, not a NaN latency, feeds the AIMD gradient.
+                controller.complete(
+                    sim.now, sim.now - ctx.record.client_send
+                )
+        if controller is not None:
+            drain_admission_queue()
+        sim.schedule_after(repair_s, recover_row, row, windows)
+
+    def recover_row(row: _Row, windows) -> None:
+        if row.retired_at is not None:
+            return
+        # Fresh servers: the crash lost all in-flight and queued work,
+        # and the replacement rejoins through the ordinary warm-up.
+        row.generation += 1
+        row.servers = make_servers(row.row_id, row.generation)
+        row.crashed = False
+        row.ready_at = sim.now + config.warmup_s
+        failure_state["recoveries"] += 1
+        bump_failure("replica_recoveries")
+        schedule_next_crash(row, windows)
 
     for _ in range(config.initial_replicas):
         launch_row(0.0)
@@ -449,11 +602,17 @@ def run_autoscaled_cluster(
             )
         pending = [config.shards]
         completions: List[float] = []
+        ctx = (
+            _InFlightQuery(record) if config.failures is not None else None
+        )
 
         def on_shard_complete(server_record: QueryRecord) -> None:
             completions.append(server_record.merge_end)
             pending[0] -= 1
             if pending[0] == 0:
+                if ctx is not None:
+                    for touched in ctx.rows:
+                        touched.inflight.pop(ctx, None)
                 record.client_receive = (
                     max(completions)
                     + config.broker_merge_per_server * config.shards
@@ -476,6 +635,11 @@ def run_autoscaled_cluster(
                 demand=float(demand) * float(shares[shard]),
             )
             completion_handlers[id(server_record)] = on_shard_complete
+            if ctx is not None:
+                ctx.handler_ids.append(id(server_record))
+                if row not in ctx.rows:
+                    ctx.rows.append(row)
+                row.inflight[ctx] = None
             row.servers[shard].handle_arrival(server_record)
 
     def drain_admission_queue() -> None:
@@ -641,4 +805,6 @@ def run_autoscaled_cluster(
         row_spans=spans,
         scale_up_events=state["scale_ups"],
         scale_down_events=state["scale_downs"],
+        replica_crashes=failure_state["crashes"],
+        replica_recoveries=failure_state["recoveries"],
     )

@@ -170,6 +170,96 @@ class TestReplicasForSlo:
             model.replicas_for_slo(10.0, 0.0)
 
 
+class TestAvailabilityAwarePlanning:
+    """N+k sizing under an MTTF/MTTR replica fault model."""
+
+    MTTF_S = 150.0
+    MTTR_S = 50.0  # availability 0.75
+
+    def test_attainment_is_a_probability(self, model):
+        qps = 1.5 * model.saturation_qps(1, 1)
+        for replicas in (2, 3, 4):
+            attainment = model.attainment(qps, 0.25, replicas=replicas)
+            assert 0.0 <= attainment <= 1.0
+
+    def test_attainment_zero_when_unstable(self, model):
+        qps = 2.0 * model.saturation_qps(1, 1)
+        assert model.attainment(qps, 0.25, replicas=1) == 0.0
+
+    def test_attainment_improves_with_replicas(self, model):
+        qps = 1.5 * model.saturation_qps(1, 1)
+        assert model.attainment(qps, 0.25, replicas=4) >= model.attainment(
+            qps, 0.25, replicas=2
+        )
+
+    def test_expected_attainment_below_ideal(self, model):
+        qps = 1.5 * model.saturation_qps(1, 1)
+        ideal = model.attainment(qps, 0.25, replicas=3)
+        expected = model.expected_slo_attainment(
+            qps, 0.25, 1, 3, self.MTTF_S, self.MTTR_S
+        )
+        assert 0.0 <= expected < ideal
+
+    def test_expected_attainment_monotone_in_replicas(self, model):
+        qps = 1.5 * model.saturation_qps(1, 1)
+        values = [
+            model.expected_slo_attainment(
+                qps, 0.25, 1, n, self.MTTF_S, self.MTTR_S
+            )
+            for n in range(2, 8)
+        ]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_replicas_for_slo_adds_spares(self, model):
+        qps = 2.5 * model.saturation_qps(1, 1)
+        naive = model.replicas_for_slo(qps, 0.25)
+        planned = model.replicas_for_slo(
+            qps, 0.25, mttf_s=self.MTTF_S, mttr_s=self.MTTR_S
+        )
+        assert planned > naive
+        assert (
+            model.expected_slo_attainment(
+                qps, 0.25, 1, planned, self.MTTF_S, self.MTTR_S
+            )
+            >= 0.99
+        )
+        if planned > 1:
+            assert (
+                model.expected_slo_attainment(
+                    qps, 0.25, 1, planned - 1, self.MTTF_S, self.MTTR_S
+                )
+                < 0.99
+            )
+
+    def test_perfect_availability_matches_naive(self, model):
+        # MTTR ~ 0: replicas are effectively always up, so the
+        # availability-aware plan collapses to the load-only sizing.
+        qps = 2.5 * model.saturation_qps(1, 1)
+        naive = model.replicas_for_slo(qps, 0.25)
+        planned = model.replicas_for_slo(
+            qps, 0.25, mttf_s=1e12, mttr_s=1e-9, attainment_target=0.99
+        )
+        assert planned == naive
+
+    def test_both_or_neither_validation(self, model):
+        with pytest.raises(ValueError, match="mttf_s and mttr_s"):
+            model.replicas_for_slo(10.0, 0.25, mttf_s=100.0)
+        with pytest.raises(ValueError, match="mttf_s and mttr_s"):
+            model.replicas_for_slo(10.0, 0.25, mttr_s=100.0)
+
+    def test_unreachable_target_raises(self, model):
+        # Availability so poor that no fleet within the cap meets the
+        # target.
+        with pytest.raises(ValueError, match="no replica count"):
+            model.replicas_for_slo(
+                2.0 * model.saturation_qps(1, 1),
+                0.25,
+                max_replicas=4,
+                mttf_s=1.0,
+                mttr_s=100.0,
+            )
+
+
 class TestProvisioningPlan:
     @pytest.fixture(scope="class")
     def day(self):

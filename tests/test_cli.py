@@ -144,6 +144,27 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "# Web search benchmark characterization report" in output
 
+    def test_health_threads(self, capsys):
+        assert main(FAST + ["health", "--breakers"]) == 0
+        output = capsys.readouterr().out
+        assert "Node health" in output
+        assert "threads" in output
+        assert "breaker shard 0" in output
+        assert "CLOSED" in output
+
+    def test_health_processes(self, capsys):
+        assert (
+            main(
+                FAST
+                + ["--backend", "processes", "--workers", "2", "health"]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "live workers" in output
+        assert "2/2" in output
+        assert "alive" in output
+
     def test_chaos_dry_run(self, capsys):
         assert main(["chaos", "--dry-run"]) == 0
         output = capsys.readouterr().out

@@ -12,10 +12,14 @@ The GIL-escape contract has three parts, each tested here:
 - **backend equivalence** — a full :class:`IndexServingNode` on
   ``backend="processes"`` answers every query identically to the
   thread backend, on the single-query and the batched path;
-- **worker lifecycle** — a SIGKILLed worker surfaces as a typed
-  :class:`WorkerCrashError`, feeds the circuit breaker, degrades
-  coverage like any shard failure, and the pool respawns the worker;
-  ``close()`` deterministically unlinks the shared segment.
+- **worker lifecycle** — a worker killed *between* dispatches is found
+  by the liveness checks (the background heartbeat within one probe
+  interval, or the cheap pre-dispatch ``is_alive`` check) and respawned
+  without burning a query; a worker dying *mid-dispatch* surfaces as a
+  typed :class:`WorkerCrashError`, feeds the circuit breaker, and
+  degrades coverage like any shard failure — batches re-dispatch to
+  healthy workers first; ``close()`` deterministically unlinks the
+  shared segment.
 """
 
 import os
@@ -219,12 +223,87 @@ class TestWorkerLifecycle:
         pid = pool.worker_pids()[0]
         os.kill(pid, signal.SIGKILL)
         # SIGKILL is immediate; the kernel closes the worker's pipe end,
-        # so the next dispatch observes EOF.  (The zombie is reaped by
-        # the pool's respawn path.)
+        # so any in-flight dispatch observes EOF.  (The zombie is
+        # reaped by the pool's respawn path.)
         time.sleep(0.05)
         return pid
 
-    def test_crash_is_typed_and_pool_self_heals(self, parity_setup):
+    def _hide_death(self, pool: ProcessShardPool):
+        """Blind the liveness checks to slot 0's coming death.
+
+        With ``is_alive`` pinned True, neither the heartbeat monitor
+        nor the pre-dispatch check can see the corpse — the dispatch
+        itself must discover it, which is exactly the mid-flight crash
+        path these tests pin down.  Patch *before* killing so the
+        monitor cannot win the race.
+        """
+        handle = pool._workers[0]
+        handle.process.is_alive = lambda: True
+        return handle
+
+    def test_idle_crash_is_healed_without_burning_a_query(
+        self, parity_setup
+    ):
+        partitioned, texts = parity_setup
+        with IndexServingNode(
+            partitioned,
+            execution=ExecutionConfig(backend="processes", workers=1),
+        ) as node:
+            pool = node.process_pool
+            expected = node.execute(texts[0], k=5)
+            dead = self._kill_one_worker(pool)
+            # The liveness checks (heartbeat probe or the pre-dispatch
+            # is_alive check) find the corpse first: the very next
+            # query is served by a respawned worker, bit-identically —
+            # no query is burned discovering the death.
+            response = node.execute(texts[0], k=5)
+            assert response.coverage == 1.0
+            assert hit_pairs(response.hits) == hit_pairs(expected.hits)
+            assert dead not in pool.worker_pids()
+
+    def test_heartbeat_detects_sigkill_within_probe_interval(
+        self, small_collection
+    ):
+        partitioned = partition_index(small_collection, 1)
+        interval = 0.05
+        with SharedIndexArena(partitioned) as arena:
+            pool = ProcessShardPool(
+                arena.spec,
+                workers=2,
+                options=WorkerOptions(),
+                probe_interval_s=interval,
+            )
+            try:
+                pids = pool.worker_pids()
+                os.kill(pids[0], signal.SIGKILL)
+                # No dispatch happens: only the background heartbeat
+                # can notice.  Nominal detection is one probe interval;
+                # the deadline leaves scheduling slack for loaded CI.
+                deadline = time.monotonic() + 50 * interval
+                while time.monotonic() < deadline:
+                    snapshot = pool.health_snapshot()
+                    if (
+                        snapshot["deaths_detected"] >= 1
+                        and snapshot["live_workers"] == 2
+                    ):
+                        break
+                    time.sleep(interval / 5)
+                snapshot = pool.health_snapshot()
+                assert snapshot["deaths_detected"] >= 1
+                assert snapshot["respawns"] >= 1
+                assert snapshot["live_workers"] == 2
+                assert pids[0] not in pool.worker_pids()
+                # The respawned fleet serves without a burned query.
+                future = pool.submit_one(
+                    0, ParsedQuery(terms=("alpha",), k=3)
+                )
+                future.result(timeout=30)
+            finally:
+                pool.close()
+
+    def test_mid_dispatch_crash_is_typed_and_pool_self_heals(
+        self, parity_setup
+    ):
         partitioned, texts = parity_setup
         with IndexServingNode(
             partitioned,
@@ -232,9 +311,11 @@ class TestWorkerLifecycle:
         ) as node:
             pool = node.process_pool
             node.execute(texts[0], k=5)
+            self._hide_death(pool)
             dead = self._kill_one_worker(pool)
-            # Plain fan-out has no retry machinery: the crash propagates
-            # as the typed failure, naming the shards it took down.
+            # Plain single-query fan-out has no retry machinery: the
+            # mid-dispatch crash propagates as the typed failure,
+            # naming the shards it took down.
             with pytest.raises(WorkerCrashError) as excinfo:
                 node.execute(texts[1], k=5)
             assert excinfo.value.shards
@@ -242,6 +323,32 @@ class TestWorkerLifecycle:
             response = node.execute(texts[0], k=5)
             assert response.coverage == 1.0
             assert dead not in pool.worker_pids()
+
+    def test_batch_crash_retries_on_healthy_workers(self, parity_setup):
+        partitioned, texts = parity_setup
+        with IndexServingNode(
+            partitioned, execution=ExecutionConfig(backend="threads")
+        ) as reference_node:
+            expected = [
+                reference_node.execute(text, k=5) for text in texts[:6]
+            ]
+        with IndexServingNode(
+            partitioned,
+            execution=ExecutionConfig(
+                backend="processes", workers=2, batch_size=4
+            ),
+        ) as node:
+            pool = node.process_pool
+            node.execute(texts[0], k=5)
+            self._hide_death(pool)
+            self._kill_one_worker(pool)
+            # Chunks dispatched to the dead worker crash mid-flight and
+            # re-dispatch to the healthy worker (or the respawn): the
+            # whole batch still answers, bit-identical, no exception.
+            responses = node.execute_batch(texts[:6], k=5)
+            for response, want in zip(responses, expected):
+                assert response.coverage == 1.0
+                assert hit_pairs(response.hits) == hit_pairs(want.hits)
 
     def test_crash_trips_breaker_and_degrades_coverage(self, parity_setup):
         partitioned, texts = parity_setup
@@ -253,6 +360,7 @@ class TestWorkerLifecycle:
             ),
         ) as node:
             node.execute(texts[0], k=5)
+            self._hide_death(node.process_pool)
             self._kill_one_worker(node.process_pool)
             # The crashed dispatch fails one shard's attempt; with a
             # one-strike breaker the retry is fenced off, so the answer

@@ -6,6 +6,8 @@ explicit ``now`` values — no sleeping, no wall-clock flakiness.
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.obs.registry import MetricsRegistry
@@ -401,6 +403,67 @@ class TestCircuitBreakerTransitions:
     def test_config_validation(self, kwargs):
         with pytest.raises(ValueError):
             BreakerConfig(**kwargs)
+
+
+class TestHalfOpenConcurrency:
+    """Concurrent requests race a half-open breaker's single probe slot.
+
+    ``allow`` both checks and *reserves* the slot under the breaker's
+    lock, so exactly one of N simultaneous callers is admitted as the
+    probe; the losers are refused — the fan-out turns that refusal into
+    an open-breaker skip — and the breaker's fate rides entirely on
+    the winner's outcome.
+    """
+
+    RACERS = 8
+
+    def _tripped_half_open(self) -> CircuitBreaker:
+        breaker = CircuitBreaker(CFG)
+        for _ in range(CFG.failure_threshold):
+            breaker.record_failure(0.0)
+        assert breaker.state(1.0) is BreakerState.HALF_OPEN
+        return breaker
+
+    def _race_allow(self, breaker: CircuitBreaker, now: float):
+        barrier = threading.Barrier(self.RACERS)
+        outcomes = [None] * self.RACERS
+
+        def racer(slot: int) -> None:
+            barrier.wait()
+            outcomes[slot] = breaker.allow(now)
+
+        threads = [
+            threading.Thread(target=racer, args=(slot,))
+            for slot in range(self.RACERS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return outcomes
+
+    def test_exactly_one_concurrent_probe_admitted(self):
+        breaker = self._tripped_half_open()
+        outcomes = self._race_allow(breaker, 1.0)
+        assert sum(outcomes) == 1
+        # The losers' refusals left the breaker half-open, still
+        # waiting on the in-flight probe.
+        assert breaker.state(1.0) is BreakerState.HALF_OPEN
+
+    def test_winner_success_closes_for_everyone(self):
+        breaker = self._tripped_half_open()
+        self._race_allow(breaker, 1.0)
+        breaker.record_success(1.01)
+        assert breaker.state(1.01) is BreakerState.CLOSED
+        assert all(self._race_allow(breaker, 1.02))
+
+    def test_winner_failure_keeps_losers_fenced(self):
+        breaker = self._tripped_half_open()
+        self._race_allow(breaker, 1.0)
+        breaker.record_failure(1.01)
+        assert breaker.state(1.01) is BreakerState.OPEN
+        # Re-racing during the restarted recovery window admits no one.
+        assert not any(self._race_allow(breaker, 1.5))
 
 
 class TestBreakerBoard:

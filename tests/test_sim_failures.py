@@ -1,0 +1,275 @@
+"""Tests for the DES replica fault model (MTTF/MTTR crash/recovery).
+
+Three layers are pinned down:
+
+- the **failure models** themselves — seeded window generation, trace
+  validation, steady-state availability;
+- the **determinism discipline** — failure draws come from dedicated
+  per-row random substreams, so enabling (or merely attaching) a
+  failure model never perturbs the arrival/demand/imbalance streams: a
+  run whose failure model injects nothing is bit-identical to a run
+  with no model at all;
+- the **crash semantics inside the autoscaler** — a crash fails
+  exactly the queries in flight on the dead replica (typed
+  ``replica_crash`` shed reason, counted as SLO misses), removes the
+  replica from the dispatchable set, and the replacement serves again
+  only after the warm-up.
+"""
+
+import numpy as np
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.servers.spec import ServerSpec
+from repro.sim.autoscale import (
+    AutoscaleConfig,
+    StaticPolicy,
+    run_autoscaled_cluster,
+)
+from repro.sim.failures import (
+    SHED_REPLICA_CRASH,
+    MttfMttrFailures,
+    ReplicaFailureModel,
+    TraceFailures,
+    steady_state_availability,
+)
+from repro.sim.random import RandomStreams
+from repro.workload.servicetime import LognormalDemand
+
+DEMAND = LognormalDemand(mu=-4.6, sigma=0.8)
+
+SPEC = ServerSpec(
+    name="failures-test-node",
+    num_cores=2,
+    core_speed=0.5,
+    idle_power_watts=30.0,
+    peak_power_watts=90.0,
+)
+
+
+def make_trace(horizon_s=300.0, rate_qps=40.0, seed=0):
+    """A steady Poisson stream realized into (arrival_times, demands)."""
+    streams = RandomStreams(seed)
+    rng = streams.stream("arrivals")
+    gaps = rng.exponential(1.0 / rate_qps, size=int(rate_qps * horizon_s * 2))
+    times = np.cumsum(gaps)
+    times = times[times < horizon_s]
+    demands = DEMAND.demands(times.size, streams.stream("demands"))
+    return times, demands
+
+
+def make_config(**overrides):
+    params = dict(
+        spec=SPEC,
+        initial_replicas=3,
+        min_replicas=3,
+        max_replicas=3,
+        warmup_s=15.0,
+    )
+    params.update(overrides)
+    return AutoscaleConfig(**params)
+
+
+def run(config, horizon_s=300.0, rate_qps=40.0, seed=0, metrics=None):
+    times, demands = make_trace(
+        horizon_s=horizon_s, rate_qps=rate_qps, seed=seed
+    )
+    return run_autoscaled_cluster(
+        config,
+        StaticPolicy(config.initial_replicas),
+        times,
+        demands,
+        horizon_s=horizon_s,
+        seed=seed,
+        metrics=metrics,
+    )
+
+
+class TestSteadyStateAvailability:
+    def test_formula(self):
+        assert steady_state_availability(300.0, 100.0) == pytest.approx(0.75)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            steady_state_availability(0.0, 100.0)
+        with pytest.raises(ValueError):
+            steady_state_availability(300.0, -1.0)
+
+
+class TestMttfMttrFailures:
+    def test_is_a_failure_model(self):
+        model = MttfMttrFailures(mttf_s=100.0, mttr_s=20.0)
+        assert isinstance(model, ReplicaFailureModel)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MttfMttrFailures(mttf_s=0.0, mttr_s=20.0)
+        with pytest.raises(ValueError):
+            MttfMttrFailures(mttf_s=100.0, mttr_s=0.0)
+
+    def test_windows_are_seeded_and_per_row(self):
+        model = MttfMttrFailures(mttf_s=100.0, mttr_s=20.0)
+
+        def first_windows(row_id, seed, n=4):
+            streams = RandomStreams(seed)
+            generator = model.windows(row_id, 0.0, streams)
+            return [next(generator) for _ in range(n)]
+
+        assert first_windows(0, seed=7) == first_windows(0, seed=7)
+        assert first_windows(0, seed=7) != first_windows(0, seed=8)
+        assert first_windows(0, seed=7) != first_windows(1, seed=7)
+
+    def test_windows_advance_and_respect_min_repair(self):
+        model = MttfMttrFailures(
+            mttf_s=50.0, mttr_s=0.001, min_repair_s=1.0
+        )
+        streams = RandomStreams(0)
+        generator = model.windows(0, 10.0, streams)
+        previous_end = 10.0
+        for _ in range(10):
+            crash_at, repair_s = next(generator)
+            assert crash_at > previous_end
+            assert repair_s >= 1.0
+            previous_end = crash_at + repair_s
+
+
+class TestTraceFailures:
+    def test_replays_the_given_windows(self):
+        model = TraceFailures({0: ((10.0, 5.0), (40.0, 2.0))})
+        streams = RandomStreams(0)
+        assert list(model.windows(0, 0.0, streams)) == [
+            (10.0, 5.0),
+            (40.0, 2.0),
+        ]
+        assert list(model.windows(1, 0.0, streams)) == []
+
+    def test_skips_windows_before_launch(self):
+        model = TraceFailures({0: ((10.0, 5.0), (40.0, 2.0))})
+        streams = RandomStreams(0)
+        assert list(model.windows(0, 20.0, streams)) == [(40.0, 2.0)]
+
+    def test_rejects_overlap_and_nonpositive(self):
+        with pytest.raises(ValueError):
+            TraceFailures({0: ((10.0, 5.0), (12.0, 1.0))})
+        with pytest.raises(ValueError):
+            TraceFailures({0: ((10.0, 0.0),)})
+        with pytest.raises(ValueError):
+            TraceFailures({0: ((-1.0, 5.0),)})
+
+
+class TestCrashSemantics:
+    def test_crash_fails_in_flight_queries_typed(self):
+        # One long outage covering the middle of the run.
+        config = make_config(
+            failures=TraceFailures({r: ((100.0, 50.0),) for r in range(3)})
+        )
+        metrics = MetricsRegistry()
+        # High utilization (~0.87 of the 3-replica fleet) keeps the
+        # queues deep, so the crash instant is guaranteed to catch
+        # queries in flight.
+        result = run(config, rate_qps=180.0, metrics=metrics)
+        assert result.replica_crashes == 3
+        assert result.replica_recoveries == 3
+        failed = [r for r in result.records if r.failed]
+        assert failed, "an outage must fail the queries in flight"
+        for record in failed:
+            assert record.shed_reason == SHED_REPLICA_CRASH
+            assert record.served is False
+        snapshot = metrics.snapshot()
+        assert snapshot["failures.replica_crashes"]["value"] == 3
+        assert snapshot["failures.queries_failed"]["value"] == len(failed)
+
+    def test_failed_queries_count_as_slo_misses(self):
+        outage = TraceFailures({r: ((100.0, 50.0),) for r in range(3)})
+        with_failures = run(make_config(failures=outage), rate_qps=180.0)
+        without = run(make_config(), rate_qps=180.0)
+        assert with_failures.failed_count > 0
+        # A generous SLO every served query meets: attainment is then
+        # exactly the served fraction — crash-failed queries (and the
+        # arrivals refused while the whole fleet was down) are misses.
+        generous = 1e9
+        assert without.slo_attainment(generous) == pytest.approx(1.0)
+        served_fraction = sum(
+            1 for r in with_failures.records if r.served
+        ) / len(with_failures.records)
+        assert served_fraction < 1.0
+        assert with_failures.slo_attainment(generous) == pytest.approx(
+            served_fraction
+        )
+
+    def test_recovery_rejoins_after_warmup(self):
+        # All replicas down at once; service must resume after the
+        # repair plus the warm-up, and only then.
+        config = make_config(
+            warmup_s=20.0,
+            failures=TraceFailures({r: ((100.0, 10.0),) for r in range(3)}),
+        )
+        result = run(config)
+        assert result.replica_recoveries == 3
+        resumed = [
+            r.client_send
+            for r in result.records
+            if r.served and r.client_send > 100.0
+        ]
+        assert resumed, "service must resume after recovery"
+        # Nothing can be *served* during the outage or the warm-up of
+        # the replacements (dispatch requires a warmed-up row).
+        assert min(resumed) >= 110.0 + 20.0
+
+    def test_mid_outage_arrivals_fail_not_hang(self):
+        config = make_config(
+            failures=TraceFailures({r: ((100.0, 50.0),) for r in range(3)})
+        )
+        result = run(config)
+        # Every record resolved: served, shed, or crash-failed.
+        for record in result.records:
+            assert not record.served or not np.isnan(record.client_receive)
+
+
+class TestDeterminismDiscipline:
+    def test_run_is_deterministic(self):
+        config = make_config(
+            failures=MttfMttrFailures(mttf_s=80.0, mttr_s=20.0)
+        )
+        first = run(config)
+        second = run(config)
+        assert first.replica_crashes == second.replica_crashes
+        assert np.array_equal(first.latencies(), second.latencies())
+        assert [r.shed_reason for r in first.records] == [
+            r.shed_reason for r in second.records
+        ]
+
+    def test_inert_model_is_bit_identical_to_none(self):
+        baseline = run(make_config())
+        # A trace model with no windows attaches the whole failure
+        # machinery but never fires.
+        empty = run(make_config(failures=TraceFailures({})))
+        # An MTTF far past the horizon draws only from the dedicated
+        # per-row failure substreams, so the serving path is untouched.
+        far = run(
+            make_config(failures=MttfMttrFailures(mttf_s=1e9, mttr_s=10.0))
+        )
+        for result in (empty, far):
+            assert result.replica_crashes == 0
+            assert np.array_equal(result.latencies(), baseline.latencies())
+            assert [r.client_receive for r in result.records] == [
+                r.client_receive for r in baseline.records
+            ]
+
+    def test_failures_leave_pre_crash_history_identical(self):
+        # Before the first crash fires, the failure run's timeline is
+        # bit-identical to the baseline — the model's draws come from
+        # substreams the serving path never touches.
+        baseline = run(make_config())
+        crashed = run(
+            make_config(failures=TraceFailures({0: ((150.0, 30.0),)}))
+        )
+        for clean, faulty in zip(baseline.records, crashed.records):
+            if clean.client_send >= 150.0:
+                break
+            if (
+                not np.isnan(clean.client_receive)
+                and clean.client_receive >= 150.0
+            ):
+                continue
+            assert faulty.client_receive == clean.client_receive
