@@ -55,6 +55,11 @@ from repro.cluster.fanout import (
 )
 from repro.cluster.server import PartitionModelConfig, StorageModelConfig
 from repro.core.reporting import format_series, format_table
+from repro.core.scheduling import (
+    ScheduledComparisonPoint,
+    compare_servers_vs_partitions_scheduled,
+    crossover_partitions,
+)
 from repro.corpus.generator import CorpusConfig
 from repro.corpus.querylog import QueryLog, QueryLogConfig
 from repro.corpus.vocabulary import VocabularyConfig
@@ -77,6 +82,10 @@ from repro.engine.service import (
 )
 from repro.index.partitioner import PartitionStrategy
 from repro.index.store import TieredStorageConfig
+from repro.predict.calibrate import PredictorCalibration, calibrate_predictor
+from repro.predict.features import QueryFeatures, extract_features
+from repro.predict.predictor import ServiceTimePredictor
+from repro.predict.scheduler import DeadlineCappedDemand, DeadlineScheduler
 from repro.resilience.admission import (
     AimdConfig,
     OverloadPolicy,
@@ -195,6 +204,17 @@ __all__ = [
     "ReactivePolicy",
     "ModelPolicy",
     "run_autoscaled_cluster",
+    # service-time prediction & deadline-aware scheduling
+    "ServiceTimePredictor",
+    "DeadlineScheduler",
+    "DeadlineCappedDemand",
+    "QueryFeatures",
+    "extract_features",
+    "PredictorCalibration",
+    "calibrate_predictor",
+    "ScheduledComparisonPoint",
+    "compare_servers_vs_partitions_scheduled",
+    "crossover_partitions",
     # replica failure & recovery
     "ReplicaFailureModel",
     "MttfMttrFailures",
@@ -260,6 +280,7 @@ class EngineConfig:
     breakers: Optional[BreakerConfig] = None
     faults: Optional[FaultPlan] = None
     tiered: Optional[TieredStorageConfig] = None
+    scheduler: Optional[DeadlineScheduler] = None
 
     def __post_init__(self) -> None:
         # Warn at construction time (not first use) and fold the
@@ -285,6 +306,7 @@ class EngineConfig:
             breakers=self.breakers,
             faults=self.faults,
             tiered=self.tiered,
+            scheduler=self.scheduler,
         )
 
 

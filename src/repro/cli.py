@@ -16,7 +16,9 @@ fast default configurations:
 - ``chaos`` — fault-injected simulated run under overload protection
   (``--dry-run`` prints the fault schedule without running);
 - ``health`` — build a serving node, answer warm-up queries, and print
-  its liveness snapshot (worker probes, respawns, breaker states).
+  its liveness snapshot (worker probes, respawns, breaker states);
+- ``predict`` — calibrate the service-time predictor and demo
+  prediction-aware big/little routing (F29).
 
 Every command accepts ``--docs``/``--seed`` to scale and reseed.
 """
@@ -530,6 +532,67 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_predict(args: argparse.Namespace) -> int:
+    from repro.api import DeadlineScheduler, calibrate_predictor, extract_features
+
+    with _build_engine(args) as engine:
+        service = engine.service
+        calibration = calibrate_predictor(
+            service.isn,
+            service.query_log,
+            num_queries=args.queries,
+            repeats=2,
+            seed=args.seed,
+        )
+        predictor = calibration.predictor
+        print(
+            format_table(
+                ["coefficient", "value"],
+                [
+                    ["base (ms)", predictor.base_seconds * 1000],
+                    ["per term (ms)", predictor.per_term_seconds * 1000],
+                    ["per posting (ns)", predictor.per_posting_seconds * 1e9],
+                    ["residual log-sigma", predictor.residual_log_sigma],
+                    ["train MAPE (%)", calibration.train_mape * 100],
+                    ["holdout MAPE (%)", calibration.holdout_mape * 100],
+                    ["train / holdout n",
+                     f"{calibration.num_train} / {calibration.num_holdout}"],
+                ],
+                title="Service-time predictor calibration",
+            )
+        )
+        # Routing demo: classify the log's head queries against a
+        # threshold at the predictor's median holdout prediction.
+        median = sorted(
+            predictor.predict(f) for f in calibration.holdout_features
+        )[len(calibration.holdout_features) // 2]
+        scheduler = DeadlineScheduler(
+            predictor=predictor, long_query_threshold_s=max(median, 1e-9)
+        )
+        rows = []
+        for query in list(engine.query_log)[: args.demo_queries]:
+            features = extract_features(
+                service.partitioned, service.isn.parser.parse(query.text)
+            )
+            rows.append(
+                [
+                    query.text[:40],
+                    features.term_count,
+                    features.total_postings,
+                    f"{scheduler.predicted_seconds(features) * 1000:.3f}",
+                    "big" if scheduler.is_long(features) else "little",
+                ]
+            )
+        print(
+            format_table(
+                ["query", "terms", "postings", "predicted (ms)", "route"],
+                rows,
+                title=f"Routing demo (threshold {median * 1000:.3f} ms)",
+            )
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -709,6 +772,17 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--output", default=None,
                         help="write to a file instead of stdout")
     report.set_defaults(handler=cmd_report)
+
+    predict = subparsers.add_parser(
+        "predict",
+        help="calibrate the service-time predictor and demo "
+        "prediction-aware big/little routing (F29)",
+    )
+    predict.add_argument("--queries", type=int, default=120,
+                        help="queries replayed for calibration")
+    predict.add_argument("--demo-queries", type=int, default=8,
+                        help="log-head queries shown in the routing demo")
+    predict.set_defaults(handler=cmd_predict)
 
     return parser
 

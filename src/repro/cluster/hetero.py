@@ -5,19 +5,25 @@ natural follow-on is whether a *mixed* fleet can — little servers
 soaking up the cheap queries (most of them, under Zipf) while a few
 big servers absorb the expensive tail.  This module simulates one
 shard served by ``num_big`` big and ``num_little`` little replicas,
-with a router that either ignores query cost (random spray) or routes
+with a router that either ignores query cost (random spray), routes
 by a demand threshold (cheap → little, expensive → big; the "oracle"
-router, since real engines estimate cost well from term statistics).
+router, since real engines estimate cost well from term statistics),
+or — with a :class:`~repro.predict.scheduler.DeadlineScheduler` —
+routes on *predicted* cost perturbed by the predictor's measured error
+model, the realistic middle ground between spray and oracle.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
 from repro.cluster.results import QueryRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.predict.scheduler import DeadlineScheduler
 from repro.cluster.server import PartitionModelConfig, SimulatedServer
 from repro.metrics.summary import LatencySummary, summarize
 from repro.servers.power import PowerModel
@@ -43,7 +49,23 @@ class HeterogeneousConfig:
         Queries with demand above this route to the big group, the rest
         to the little group.  ``None`` sprays uniformly over all
         servers (cost-oblivious baseline).  Groups of size zero receive
-        the other group's traffic.
+        the other group's traffic.  The threshold router reads the
+        query's *true* demand — an oracle upper bound on what any
+        predictor can do.
+    scheduler:
+        Optional :class:`~repro.predict.scheduler.DeadlineScheduler` —
+        the *predicted*-demand router.  Each query's prediction is its
+        true demand times a draw from the predictor's log-normal
+        residual error model (a dedicated ``"prediction"`` RNG
+        stream), so routing quality degrades exactly with measured
+        predictor accuracy.  With a ``deadline_s``, the router picks
+        the most energy-efficient server whose ``core_speed``-scaled
+        completion estimate (queue backlog + predicted service) meets
+        the deadline, falling back to the fastest estimate when none
+        does; with only a ``long_query_threshold_s``, predicted-long
+        queries go to the big group.  Mutually exclusive with
+        ``demand_threshold``; ``None`` keeps the seed's routers bit
+        for bit (the prediction stream is never drawn).
     """
 
     big_spec: ServerSpec
@@ -54,6 +76,7 @@ class HeterogeneousConfig:
         default_factory=PartitionModelConfig
     )
     demand_threshold: Optional[float] = None
+    scheduler: Optional["DeadlineScheduler"] = None
 
     def __post_init__(self) -> None:
         if self.num_big < 0 or self.num_little < 0:
@@ -62,6 +85,17 @@ class HeterogeneousConfig:
             raise ValueError("fleet needs at least one server")
         if self.demand_threshold is not None and self.demand_threshold < 0:
             raise ValueError("demand_threshold must be non-negative")
+        if self.scheduler is not None:
+            if self.demand_threshold is not None:
+                raise ValueError(
+                    "demand_threshold (oracle router) and scheduler "
+                    "(predicted router) are mutually exclusive"
+                )
+            if not self.scheduler.routes:
+                raise ValueError(
+                    "scheduler needs a deadline_s or long_query_threshold_s "
+                    "to make routing decisions"
+                )
 
 
 @dataclass
@@ -108,12 +142,24 @@ def run_heterogeneous_open_loop(
     """Simulate the mixed fleet under open-loop arrivals.
 
     Within the chosen group the router picks the server whose cores
-    free up earliest (an idealized join-the-shortest-queue).
+    free up earliest (an idealized join-the-shortest-queue).  With a
+    ``config.scheduler``, routing instead uses *predicted* demands —
+    true demand times the predictor's log-normal residual error, drawn
+    from a dedicated ``"prediction"`` stream so a scheduler-less run
+    consumes exactly the seed's random numbers.
     """
     streams = RandomStreams(seed)
     arrival_times, demands = scenario.realize(
         streams.stream("arrivals"), streams.stream("demands")
     )
+    scheduler = config.scheduler
+    predicted_demands = demands
+    if scheduler is not None:
+        sigma = scheduler.predictor.residual_log_sigma
+        noise = np.exp(
+            sigma * streams.stream("prediction").standard_normal(len(demands))
+        )
+        predicted_demands = demands * noise
 
     sim = Simulator()
     records: List[QueryRecord] = []
@@ -140,8 +186,75 @@ def run_heterogeneous_open_loop(
     spray_rng = streams.stream("routing")
     routed = {"big": 0, "little": 0}
 
+    def estimated_finish(server: SimulatedServer, predicted: float) -> float:
+        """Seconds until ``server`` would finish the predicted work.
+
+        Queue backlog (time until a core frees up) plus the predicted
+        total work spread over the cores a fork-join query can actually
+        occupy, scaled by the spec's ``core_speed``.
+        """
+        parallelism = min(
+            server.spec.num_cores, config.partitioning.num_partitions
+        )
+        backlog = max(server.cores.next_free_time() - sim.now, 0.0)
+        service = config.partitioning.total_work(predicted) / (
+            server.spec.core_speed * parallelism
+        )
+        return backlog + service
+
+    def peak_joules_per_work(server: SimulatedServer) -> float:
+        """Peak joules per reference-core-second — lower is cheaper."""
+        return server.spec.peak_power_watts / server.spec.compute_capacity
+
+    def route_predicted(record: QueryRecord) -> SimulatedServer:
+        predicted = float(predicted_demands[record.query_id])
+        if scheduler.deadline_s is not None:
+            # Deadline mode: cheapest (joules/work) server predicted to
+            # make the deadline; when none can, damage control — the
+            # fastest predicted finish.  Ties break on the estimate,
+            # then on fleet order (big first) for determinism.
+            estimates = [
+                (estimated_finish(server, predicted), position, server)
+                for position, server in enumerate(all_servers)
+            ]
+            eligible = [
+                entry for entry in estimates if entry[0] <= scheduler.deadline_s
+            ]
+            if eligible:
+                _, _, server = min(
+                    eligible,
+                    key=lambda entry: (
+                        peak_joules_per_work(entry[2]),
+                        entry[0],
+                        entry[1],
+                    ),
+                )
+            else:
+                _, _, server = min(estimates)
+            return server
+        # Threshold-only mode: the noisy mirror of the oracle router —
+        # a query whose *predicted* unloaded service time on a little
+        # server exceeds the threshold goes to the big group.
+        little_spec = (
+            config.little_spec if little_group else config.big_spec
+        )
+        little_parallelism = min(
+            little_spec.num_cores, config.partitioning.num_partitions
+        )
+        predicted_little_s = config.partitioning.total_work(predicted) / (
+            little_spec.core_speed * little_parallelism
+        )
+        use_big = predicted_little_s > scheduler.long_query_threshold_s
+        group = big_group if use_big else little_group
+        if not group:
+            group = little_group if use_big else big_group
+        return min(group, key=lambda s: s.cores.next_free_time())
+
     def route(record: QueryRecord) -> None:
-        if config.demand_threshold is None:
+        if scheduler is not None:
+            server = route_predicted(record)
+            routed["big" if server in big_group else "little"] += 1
+        elif config.demand_threshold is None:
             server = all_servers[spray_rng.integers(len(all_servers))]
             routed["big" if server in big_group else "little"] += 1
         else:

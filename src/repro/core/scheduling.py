@@ -1,0 +1,146 @@
+"""Prediction-aware scheduling studies (figure F29).
+
+The fig6 question revisited with a scheduler in the loop: a low-power
+server needs many partitions before its tail catches the big server's.
+Deadline-driven early termination changes that trade — queries
+*predicted* to blow the budget are truncated to the affordable work,
+so the little server's crossover (the partition count where its p99
+first meets the QoS bar) moves left.  The DES mirror of the native
+Block-Max WAND depth cap is :class:`~repro.predict.scheduler.
+DeadlineCappedDemand`; this module sweeps it across (server, P) points
+and reports the served-work fraction next to the latency win, so the
+quality cost of truncation stays visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+from repro.cluster.server import PartitionModelConfig
+from repro.cluster.simulation import ClusterConfig, run_open_loop
+from repro.metrics.summary import LatencySummary
+from repro.predict.scheduler import DeadlineCappedDemand, DeadlineScheduler
+from repro.servers.spec import ServerSpec
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.scenario import WorkloadScenario
+from repro.workload.servicetime import ServiceDemandModel
+
+__all__ = [
+    "ScheduledComparisonPoint",
+    "compare_servers_vs_partitions_scheduled",
+    "crossover_partitions",
+]
+
+
+@dataclass(frozen=True)
+class ScheduledComparisonPoint:
+    """One (server, partition count) measurement under a scheduler.
+
+    ``served_fraction`` is the share of the workload's true scoring
+    demand the deadline cap actually served (1.0 when nothing was
+    truncated) — the result-quality price of the latency numbers.
+    """
+
+    server_name: str
+    num_partitions: int
+    summary: LatencySummary
+    utilization: float
+    served_fraction: float
+
+
+def compare_servers_vs_partitions_scheduled(
+    specs: Sequence[ServerSpec],
+    demands: ServiceDemandModel,
+    partition_counts: Sequence[int],
+    rate_qps: float,
+    scheduler: Optional[DeadlineScheduler] = None,
+    cost_model: PartitionModelConfig = PartitionModelConfig(),
+    num_queries: int = 5_000,
+    warmup_fraction: float = 0.1,
+    seed: int = 0,
+) -> List[ScheduledComparisonPoint]:
+    """The F6 partition sweep with an optional deadline scheduler.
+
+    Mirrors :func:`~repro.core.lowpower.compare_servers_vs_partitions`
+    point for point — same seed, same arrival and demand draws — but
+    wraps the demand model in a per-point
+    :class:`~repro.predict.scheduler.DeadlineCappedDemand` whose
+    affordable-work budget reflects that point's ``core_speed`` and
+    intra-query parallelism ``min(num_cores, P)``.  Because the wrapper
+    draws the base demands first, ``scheduler=None`` reproduces the
+    plain study's numbers exactly, and scheduled points differ from
+    unscheduled ones only where a query was truncated.
+    """
+    if not specs:
+        raise ValueError("need at least one server spec")
+    if not partition_counts:
+        raise ValueError("need at least one partition count")
+    if scheduler is not None and scheduler.deadline_s is None:
+        raise ValueError("a scheduled comparison needs a deadline_s")
+    points: List[ScheduledComparisonPoint] = []
+    for spec in specs:
+        for num_partitions in partition_counts:
+            point_demands: ServiceDemandModel = demands
+            capped: Optional[DeadlineCappedDemand] = None
+            if scheduler is not None:
+                capped = DeadlineCappedDemand(
+                    base=demands,
+                    scheduler=scheduler,
+                    core_speed=spec.core_speed,
+                    parallelism=min(spec.num_cores, num_partitions),
+                )
+                point_demands = capped
+            config = ClusterConfig(
+                spec=spec,
+                partitioning=replace(
+                    cost_model, num_partitions=num_partitions
+                ),
+            )
+            scenario = WorkloadScenario(
+                arrivals=PoissonArrivals(rate_qps),
+                demands=point_demands,
+                num_queries=num_queries,
+            )
+            result = run_open_loop(config, scenario, seed=seed)
+            points.append(
+                ScheduledComparisonPoint(
+                    server_name=spec.name,
+                    num_partitions=num_partitions,
+                    summary=result.summary(warmup_fraction=warmup_fraction),
+                    utilization=result.utilization(),
+                    served_fraction=(
+                        capped.last_served_fraction
+                        if capped is not None
+                        else 1.0
+                    ),
+                )
+            )
+    return points
+
+
+def crossover_partitions(
+    points: Sequence[ScheduledComparisonPoint],
+    server_name: str,
+    p99_target_s: float,
+    min_served_fraction: float = 0.0,
+) -> Optional[int]:
+    """The smallest qualifying partition count for ``server_name``.
+
+    A point qualifies when its p99 meets ``p99_target_s`` *and* its
+    served-work fraction is at least ``min_served_fraction`` — a
+    scheduler is not allowed to "win" the crossover by discarding the
+    workload.  Returns ``None`` when no partition count qualifies.
+    """
+    if p99_target_s <= 0:
+        raise ValueError("p99_target_s must be positive")
+    if not 0.0 <= min_served_fraction <= 1.0:
+        raise ValueError("min_served_fraction must be in [0, 1]")
+    qualifying = [
+        point.num_partitions
+        for point in points
+        if point.server_name == server_name
+        and point.summary.p99 <= p99_target_s
+        and point.served_fraction >= min_served_fraction
+    ]
+    return min(qualifying) if qualifying else None

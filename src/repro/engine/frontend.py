@@ -12,9 +12,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.engine.isn import IndexServingNode, IsnResponse
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.predict.scheduler import DeadlineScheduler
 from repro.obs.tracing import NULL_TRACER, Span, Tracer
 from repro.search.merger import merge_shard_results
 from repro.search.query import DEFAULT_TOP_K, QueryMode
@@ -78,6 +81,14 @@ class Frontend:
         Optional span tracer.  When enabled, every query emits a
         ``frontend.execute`` root span; ISNs constructed with the same
         tracer nest their ``isn.execute`` span trees under it.
+    scheduler:
+        Optional :class:`~repro.predict.scheduler.DeadlineScheduler`.
+        With a ``deadline_s``, the frontend threads each ISN its
+        *remaining* share of the client budget at dispatch time (ISN
+        dispatch consumes budget sequentially here), so a deep
+        dispatch chain still honours one end-to-end deadline; each ISN
+        interprets the budget with its own scheduler (prediction,
+        depth capping).  ``None`` keeps dispatch untouched.
     """
 
     def __init__(
@@ -85,6 +96,7 @@ class Frontend:
         isns: Sequence[IndexServingNode],
         global_id_maps: Optional[Sequence[Sequence[int]]] = None,
         tracer: Optional[Tracer] = None,
+        scheduler: Optional["DeadlineScheduler"] = None,
     ):
         if not isns:
             raise ValueError("frontend needs at least one index serving node")
@@ -99,6 +111,7 @@ class Frontend:
             )
         self._isns = list(isns)
         self._tracer = tracer if tracer is not None else NULL_TRACER
+        self._scheduler = scheduler
         self._id_maps = (
             [list(id_map) for id_map in global_id_maps]
             if global_id_maps is not None
@@ -119,12 +132,33 @@ class Frontend:
         """Answer ``text``: broadcast, gather, merge."""
         start = time.perf_counter()
         tracer = self._tracer
+        deadline = (
+            self._scheduler.deadline_s
+            if self._scheduler is not None
+            else None
+        )
         with tracer.span(
             "frontend.execute", query=text, num_isns=len(self._isns)
         ) as root:
-            responses = [
-                isn.execute(text, k=k, mode=mode) for isn in self._isns
-            ]
+            if deadline is None:
+                responses = [
+                    isn.execute(text, k=k, mode=mode) for isn in self._isns
+                ]
+            else:
+                # Each ISN receives the budget *remaining* at its
+                # dispatch, so the shared client deadline survives the
+                # whole frontend → ISN chain.
+                responses = [
+                    isn.execute(
+                        text,
+                        k=k,
+                        mode=mode,
+                        budget_s=max(
+                            deadline - (time.perf_counter() - start), 0.0
+                        ),
+                    )
+                    for isn in self._isns
+                ]
             with tracer.span("frontend.merge"):
                 hits = merge_shard_results(
                     [

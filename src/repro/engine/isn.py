@@ -39,10 +39,15 @@ from repro.engine.instrumentation import ComponentTimings
 from repro.index.partitioner import PartitionedIndex
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracing import Span, Tracer
+from repro.predict.features import extract_features
 from repro.resilience.admission import BlockingAdmissionGate, OverloadPolicy, ShedResponse
 from repro.resilience.breaker import BreakerBoard, BreakerConfig, BreakerState
 from repro.resilience.faults import FaultInjector, FaultPlan
-from repro.search.executor import SearchCancelled, ShardSearcher
+from repro.search.executor import (
+    SearchCancelled,
+    ShardSearcher,
+    _normalize_algorithm,
+)
 from repro.search.global_stats import global_scorer_factory
 from repro.search.strategy import TraversalStrategy
 from repro.search.merger import merge_shard_results
@@ -52,6 +57,7 @@ from repro.search.topk import SearchHit
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cache.querycache import CachedPage, QueryResultCache
     from repro.index.store import TieredStorageConfig
+    from repro.predict.scheduler import DeadlineScheduler
 
 #: Linear bucket edges for the coverage histogram (fractions of shards).
 COVERAGE_BUCKETS = tuple(i / 20.0 for i in range(21))
@@ -193,6 +199,16 @@ class IndexServingNode:
         path span-free; a disabled tracer costs one branch per query.
     metrics:
         Optional metrics registry for serving-path counters.
+    scheduler:
+        Optional :class:`~repro.predict.scheduler.DeadlineScheduler`.
+        When set, every admitted query is featurized from the resident
+        dictionary (term count + summed posting-list lengths, no
+        postings traversal) and its service time predicted;
+        :meth:`execute_batch` dispatches longest-predicted-first, and
+        with ``depth_from_budget`` a Block-Max WAND traversal gets a
+        per-query ``max_docs_scored`` depth derived from the remaining
+        deadline budget.  ``None`` — the default — keeps the seed's
+        serving path bit for bit.
     """
 
     def __init__(
@@ -211,6 +227,7 @@ class IndexServingNode:
         execution: Optional[ExecutionConfig] = None,
         shared_source: Optional[PartitionedIndex] = None,
         tiered: Optional["TieredStorageConfig"] = None,
+        scheduler: Optional["DeadlineScheduler"] = None,
     ):
         execution = resolve_execution(
             execution, num_threads, "IndexServingNode"
@@ -238,6 +255,8 @@ class IndexServingNode:
             if faults is not None and faults.enabled
             else None
         )
+        self._scheduler = scheduler
+        self._algorithm_name = _normalize_algorithm(algorithm)
         self._latency_tracker = ShardLatencyTracker()
         scorer_factory = (
             global_scorer_factory(partitioned) if use_global_stats else None
@@ -318,6 +337,16 @@ class IndexServingNode:
         return self._hedging
 
     @property
+    def scheduler(self) -> Optional["DeadlineScheduler"]:
+        """The active deadline scheduler (None when unconfigured)."""
+        return self._scheduler
+
+    @property
+    def parser(self) -> QueryParser:
+        """The node's query parser (the shards' analyzer)."""
+        return self._parser
+
+    @property
     def admission_gate(self) -> Optional[BlockingAdmissionGate]:
         """The active admission gate (None when no overload policy)."""
         return self._gate
@@ -381,16 +410,22 @@ class IndexServingNode:
         text: str,
         k: int = DEFAULT_TOP_K,
         mode: QueryMode = QueryMode.OR,
+        budget_s: Optional[float] = None,
     ):
         """Answer ``text`` with parallel partition fan-out.
 
         Returns an :class:`IsnResponse` — or, when an overload policy
         is attached and refuses the query, a
         :class:`~repro.resilience.admission.ShedResponse`.
+
+        ``budget_s`` is an optional per-call deadline budget (seconds)
+        overriding the scheduler's ``deadline_s`` — the frontend passes
+        each ISN its *remaining* budget so the whole dispatch shares
+        one client deadline.  Ignored without a scheduler.
         """
         self._ensure_open()
         if self._gate is None:
-            return self._execute_admitted(text, k, mode)
+            return self._execute_admitted(text, k, mode, budget_s)
         arrival = time.perf_counter()
         if self._metrics is not None:
             self._metrics.histogram(
@@ -401,7 +436,7 @@ class IndexServingNode:
             return self._shed(text, reason, arrival)
         start = time.perf_counter()
         try:
-            response = self._execute_admitted(text, k, mode)
+            response = self._execute_admitted(text, k, mode, budget_s)
         finally:
             self._gate.release(time.perf_counter() - start)
         if self._metrics is not None:
@@ -424,7 +459,11 @@ class IndexServingNode:
         )
 
     def _execute_admitted(
-        self, text: str, k: int, mode: QueryMode
+        self,
+        text: str,
+        k: int,
+        mode: QueryMode,
+        budget_s: Optional[float] = None,
     ) -> IsnResponse:
         total_start = time.perf_counter()
 
@@ -439,6 +478,12 @@ class IndexServingNode:
                     text, entry, total_start, parse_start, parse_end
                 )
 
+        max_docs = (
+            self._depth_budget(query, total_start, budget_s)
+            if self._scheduler is not None
+            else None
+        )
+
         fanout_start = time.perf_counter()
         if self._resilient_fanout:
             outcome = self._fanout_hedged(query, fanout_start)
@@ -446,7 +491,9 @@ class IndexServingNode:
             outcome = self._fanout_processes(query)
         else:
             futures = [
-                self._pool.submit(self._search_shard, searcher, query)
+                self._pool.submit(
+                    self._search_shard, searcher, query, max_docs
+                )
                 for searcher in self._searchers
             ]
             outcome = _FanoutOutcome(
@@ -556,8 +603,28 @@ class IndexServingNode:
         answered: Dict[int, List[tuple]] = {
             position: [] for position in pending
         }
+        dispatch_order = pending
+        if self._scheduler is not None and len(pending) > 1:
+            # Longest-predicted-first dispatch: the predicted-expensive
+            # queries start scoring first, so the batch straggler is a
+            # query that started early rather than one that queued
+            # behind cheap work (the native mirror of the DES router
+            # shielding long queries).  Stable sort keeps determinism.
+            predictions = {
+                position: self._scheduler.predicted_seconds(
+                    extract_features(self.partitioned, parsed[position])
+                )
+                for position in pending
+            }
+            if self._metrics is not None:
+                self._metrics.counter("predict.queries").add(len(pending))
+            dispatch_order = sorted(
+                pending, key=lambda position: -predictions[position]
+            )
         items = [
-            (position, shard) for position in pending for shard in range(n)
+            (position, shard)
+            for position in dispatch_order
+            for shard in range(n)
         ]
         if self._process_pool is not None:
             from repro.engine.mp import WorkerCrashError
@@ -659,11 +726,57 @@ class IndexServingNode:
             raise RuntimeError("IndexServingNode is closed")
 
     @staticmethod
-    def _search_shard(searcher: ShardSearcher, query: ParsedQuery):
+    def _search_shard(
+        searcher: ShardSearcher,
+        query: ParsedQuery,
+        max_docs_scored: Optional[int] = None,
+    ):
         """Search one shard; returns (result, start, end) timestamps."""
         start = time.perf_counter()
-        result = searcher.search(query)
+        result = searcher.search(query, max_docs_scored=max_docs_scored)
         return result, start, time.perf_counter()
+
+    def _depth_budget(
+        self,
+        query: ParsedQuery,
+        total_start: float,
+        budget_s: Optional[float],
+    ) -> Optional[int]:
+        """Featurize at admission; map the deadline to a BMW depth.
+
+        Returns the per-shard ``max_docs_scored`` cap, or ``None`` when
+        no cap applies.  Depth capping is a plain-fan-out, thread-
+        backend mechanism: the resilient gather has its own deadline
+        machinery (drop-the-shard, not truncate-the-shard), and the
+        process backend's dispatch protocol carries no per-query depth
+        — those paths still get admission-time prediction metrics and
+        batch ordering, just no truncation.
+        """
+        scheduler = self._scheduler
+        features = extract_features(self.partitioned, query)
+        if self._metrics is not None:
+            self._metrics.counter("predict.queries").add()
+            if scheduler.is_long(features):
+                self._metrics.counter("predict.long_queries").add()
+        deadline = budget_s if budget_s is not None else scheduler.deadline_s
+        if (
+            deadline is None
+            or not scheduler.depth_from_budget
+            or self._algorithm_name != "block_max_wand"
+            or self._resilient_fanout
+            or self._process_pool is not None
+        ):
+            return None
+        remaining = deadline - (time.perf_counter() - total_start)
+        max_docs = scheduler.max_docs_for(
+            features,
+            remaining,
+            num_shards=self.num_partitions,
+            floor=query.k,
+        )
+        if max_docs is not None and self._metrics is not None:
+            self._metrics.counter("predict.depth_capped").add()
+        return max_docs
 
     def _search_shard_attempt(
         self,

@@ -7,8 +7,9 @@ It is the entry point the examples and most benchmarks use.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.corpus.generator import CorpusConfig, CorpusGenerator
 from repro.corpus.querylog import QueryLog, QueryLogConfig, QueryLogGenerator
@@ -34,6 +35,9 @@ from repro.search.strategy import TraversalStrategy
 from repro.search.topk import SearchHit
 from repro.text.analyzer import Analyzer, default_analyzer
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.predict.scheduler import DeadlineScheduler
+
 
 @dataclass(frozen=True)
 class ResultPageEntry:
@@ -55,13 +59,28 @@ class SearchPage(List[ResultPageEntry]):
     tier's records.
     """
 
-    def __init__(self, entries, response: IsnResponse):
+    def __init__(
+        self,
+        entries,
+        response: IsnResponse,
+        total_seconds: Optional[float] = None,
+    ):
         super().__init__(entries)
         self.response = response
+        self.total_seconds = total_seconds
 
     @property
     def latency_s(self) -> float:
-        """The backing query's end-to-end service time in seconds."""
+        """End-to-end page latency in seconds.
+
+        Includes snippet/presentation rendering when the page was built
+        by :meth:`SearchService.search_page` (``total_seconds``), not
+        just the backing ISN query — a page's client-observed latency
+        is search *plus* rendering.  Falls back to the ISN response's
+        latency for pages constructed without a page-level measurement.
+        """
+        if self.total_seconds is not None:
+            return self.total_seconds
         return self.response.latency_s
 
     @property
@@ -99,6 +118,7 @@ class SearchServiceConfig:
     breakers: Optional[BreakerConfig] = None
     faults: Optional[FaultPlan] = None
     tiered: Optional[TieredStorageConfig] = None
+    scheduler: Optional["DeadlineScheduler"] = None
 
     def __post_init__(self) -> None:
         if self.num_partitions <= 0:
@@ -159,6 +179,7 @@ class SearchService:
             overload=config.overload,
             breakers=config.breakers,
             faults=config.faults,
+            scheduler=config.scheduler,
             tracer=tracer,
             metrics=metrics,
         )
@@ -225,6 +246,7 @@ class SearchService:
         :class:`SearchPage` is a list of entries that also exposes
         ``latency_s``/``coverage``/``doc_ids()``.
         """
+        page_start = time.perf_counter()
         with self.tracer.span("search_page", query=text):
             response = self.isn.execute(text, k=k, mode=mode)
             terms = list(self.analyzer.analyze(text))
@@ -240,7 +262,12 @@ class SearchService:
                             snippet=self._snippets.snippet(document, terms),
                         )
                     )
-        return SearchPage(entries, response)
+        # The page's latency is search *plus* snippet rendering — the
+        # response's own total covers only the ISN query, which would
+        # under-report what a client of this method actually waited.
+        return SearchPage(
+            entries, response, total_seconds=time.perf_counter() - page_start
+        )
 
     def search_phrase(
         self, text: str, k: int = DEFAULT_TOP_K

@@ -1,0 +1,82 @@
+"""Service-time prediction and deadline-aware scheduling.
+
+The paper's characterization shows per-query service time is driven by
+the matched postings volume — a quantity fully determined by statistics
+the resident dictionary already holds at *admission* (term count,
+per-term posting-list lengths).  This package turns that observation
+into a serving-path feature, following the Hurry-up direction
+(Nishtala et al., PAPERS.md):
+
+- :class:`~repro.predict.features.QueryFeatures` /
+  :func:`~repro.predict.features.extract_features` — admission-time
+  features from the dictionary alone (no postings traversal);
+- :class:`~repro.predict.predictor.ServiceTimePredictor` — a calibrated
+  linear model with a log-space residual error model, fitted against
+  measured native service times
+  (:func:`~repro.predict.calibrate.calibrate_predictor`);
+- :class:`~repro.predict.scheduler.DeadlineScheduler` — a declarative
+  policy object, interpreted identically by the native engine
+  (longest-predicted-first batch dispatch, deadline budget → Block-Max
+  WAND early-termination depth) and the DES mixed-fleet broker
+  (``core_speed``-aware routing on *predicted* demand) — the same
+  dual-interpretation contract :class:`~repro.engine.hedging.
+  HedgingPolicy` follows.
+
+``scheduler=None`` everywhere keeps the seed's behaviour bit for bit.
+
+Submodules are imported lazily so low-level layers (the ISN, the DES
+broker) can import individual submodules without triggering package
+initialization cycles.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+__all__ = [
+    "QueryFeatures",
+    "extract_features",
+    "ServiceTimePredictor",
+    "DeadlineScheduler",
+    "DeadlineCappedDemand",
+    "PredictorCalibration",
+    "calibrate_predictor",
+]
+
+_LAZY = {
+    "QueryFeatures": "repro.predict.features",
+    "extract_features": "repro.predict.features",
+    "ServiceTimePredictor": "repro.predict.predictor",
+    "DeadlineScheduler": "repro.predict.scheduler",
+    "DeadlineCappedDemand": "repro.predict.scheduler",
+    "PredictorCalibration": "repro.predict.calibrate",
+    "calibrate_predictor": "repro.predict.calibrate",
+}
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.predict.calibrate import (  # noqa: F401
+        PredictorCalibration,
+        calibrate_predictor,
+    )
+    from repro.predict.features import (  # noqa: F401
+        QueryFeatures,
+        extract_features,
+    )
+    from repro.predict.predictor import ServiceTimePredictor  # noqa: F401
+    from repro.predict.scheduler import (  # noqa: F401
+        DeadlineCappedDemand,
+        DeadlineScheduler,
+    )
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

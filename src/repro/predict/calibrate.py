@@ -1,0 +1,103 @@
+"""Fit a :class:`ServiceTimePredictor` against the native engine.
+
+Mirrors :func:`repro.core.calibration.calibrate_isn`: a popularity-
+weighted query sample is replayed serially (serial service time *is*
+the query's demand), but the measurements are split into train and
+held-out sets **by unique query text** — duplicate queries in the
+popularity-weighted stream must not leak a held-out query into
+training — so the reported holdout MAPE is an honest generalization
+number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.corpus.querylog import QueryLog
+from repro.engine.driver import replay_serial
+from repro.engine.isn import IndexServingNode
+from repro.predict.features import QueryFeatures, extract_features
+from repro.predict.predictor import ServiceTimePredictor
+
+__all__ = ["PredictorCalibration", "calibrate_predictor"]
+
+
+@dataclass(frozen=True)
+class PredictorCalibration:
+    """A fitted predictor plus its train/holdout accuracy."""
+
+    predictor: ServiceTimePredictor
+    train_mape: float
+    holdout_mape: float
+    num_train: int
+    num_holdout: int
+    holdout_features: Tuple[QueryFeatures, ...]
+    holdout_seconds: Tuple[float, ...]
+
+
+def calibrate_predictor(
+    isn: IndexServingNode,
+    query_log: QueryLog,
+    num_queries: int = 200,
+    repeats: int = 3,
+    seed: int = 0,
+    holdout_fraction: float = 0.25,
+) -> PredictorCalibration:
+    """Measure, featurize, split, fit, and score the predictor.
+
+    Deterministic for a fixed ``seed``: the query sample, the
+    train/holdout split, and the (median-of-repeats) measurements all
+    derive from it.
+    """
+    if num_queries <= 0:
+        raise ValueError("num_queries must be positive")
+    if not 0.0 < holdout_fraction < 1.0:
+        raise ValueError("holdout_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    sampled = query_log.sample_stream(num_queries, rng)
+    unique = []
+    seen = set()
+    for query in sampled:
+        if query.text not in seen:
+            seen.add(query.text)
+            unique.append(query)
+    if len(unique) < 8:
+        raise ValueError(
+            f"only {len(unique)} unique queries sampled; "
+            "calibration needs at least 8"
+        )
+    measurements = replay_serial(isn, unique, repeats=repeats)
+
+    features: Dict[str, QueryFeatures] = {}
+    times: Dict[str, float] = {}
+    for query, measurement in zip(unique, measurements):
+        parsed = isn.parser.parse(query.text)
+        features[query.text] = extract_features(isn.partitioned, parsed)
+        times[query.text] = measurement.service_seconds
+
+    order = rng.permutation(len(unique))
+    num_holdout = max(1, int(round(len(unique) * holdout_fraction)))
+    holdout_texts = [unique[i].text for i in order[:num_holdout]]
+    train_texts = [unique[i].text for i in order[num_holdout:]]
+
+    def gather(texts: List[str]):
+        return (
+            [features[text] for text in texts],
+            [times[text] for text in texts],
+        )
+
+    train_features, train_times = gather(train_texts)
+    holdout_features, holdout_times = gather(holdout_texts)
+    predictor = ServiceTimePredictor.fit(train_features, train_times)
+    return PredictorCalibration(
+        predictor=predictor,
+        train_mape=predictor.mape(train_features, train_times),
+        holdout_mape=predictor.mape(holdout_features, holdout_times),
+        num_train=len(train_texts),
+        num_holdout=len(holdout_texts),
+        holdout_features=tuple(holdout_features),
+        holdout_seconds=tuple(holdout_times),
+    )

@@ -1,0 +1,85 @@
+"""Admission-time query features from the resident dictionary.
+
+Everything here must be computable *before* any postings traversal:
+the scheduler consults these features at admission to decide routing
+and early-termination depth, so they may touch only the dictionary
+(term → document frequency), never the postings arrays.  On a tiered
+index the dictionary is resident by construction, so feature
+extraction never pages a block in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Union
+
+from repro.search.query import ParsedQuery
+
+__all__ = ["QueryFeatures", "extract_features"]
+
+
+@dataclass(frozen=True)
+class QueryFeatures:
+    """Per-query predictor inputs, all known at admission.
+
+    ``total_postings`` is the summed posting-list length of the query's
+    terms — identical to the index's ``matched_postings_volume``, the
+    paper's per-query work proxy — and ``max_postings`` the longest
+    single list (the lower bound on any single-cursor traversal).
+    """
+
+    term_count: int
+    total_postings: int
+    max_postings: int
+
+    def __post_init__(self) -> None:
+        if self.term_count < 0:
+            raise ValueError("term_count must be non-negative")
+        if self.total_postings < 0 or self.max_postings < 0:
+            raise ValueError("posting counts must be non-negative")
+        if self.max_postings > self.total_postings:
+            raise ValueError("max_postings cannot exceed total_postings")
+
+
+def _term_frequencies(index, terms: Sequence[str]) -> list:
+    """Per-term collection document frequencies from the dictionary.
+
+    ``index`` is duck-typed: anything with ``document_frequency``
+    (a single :class:`~repro.index.inverted.InvertedIndex`, including
+    tiered indexes whose dictionary is resident) or an iterable of
+    shards with ``.index`` (a ``PartitionedIndex``), in which case the
+    per-shard frequencies are summed — document partitioning splits
+    each term's postings across shards, so the sum is the collection
+    frequency.
+    """
+    document_frequency = getattr(index, "document_frequency", None)
+    if document_frequency is not None:
+        return [int(document_frequency(term)) for term in terms]
+    totals = [0] * len(terms)
+    for shard in index:
+        shard_df = shard.index.document_frequency
+        for position, term in enumerate(terms):
+            totals[position] += int(shard_df(term))
+    return totals
+
+
+def extract_features(
+    index, query: Union[ParsedQuery, Iterable[str]]
+) -> QueryFeatures:
+    """Extract admission-time features for ``query`` against ``index``.
+
+    ``query`` is a :class:`~repro.search.query.ParsedQuery` or a plain
+    term sequence (already analyzed).  Unknown terms contribute zero
+    postings but still count toward ``term_count`` — the parse cost is
+    paid whether or not the dictionary knows the term.
+    """
+    if isinstance(query, ParsedQuery):
+        terms: Sequence[str] = query.terms
+    else:
+        terms = tuple(query)
+    frequencies = _term_frequencies(index, terms)
+    return QueryFeatures(
+        term_count=len(terms),
+        total_postings=sum(frequencies),
+        max_postings=max(frequencies, default=0),
+    )

@@ -324,6 +324,7 @@ def score_block_max_wand(
     scorer: Optional[BM25Scorer] = None,
     metrics: Optional["MetricsRegistry"] = None,
     stats: Optional[TraversalStats] = None,
+    max_docs_scored: Optional[int] = None,
 ) -> List[SearchHit]:
     """Evaluate a disjunctive query with Block-Max WAND pruning.
 
@@ -333,6 +334,13 @@ def score_block_max_wand(
     registry once per call (same ``wand.*`` counter family as plain
     WAND, plus ``wand.block_skips``); ``stats``, when given, receives
     the same per-query numbers.
+
+    ``max_docs_scored`` is the deadline scheduler's early-termination
+    depth: the traversal stops once that many documents have been
+    fully scored and returns the best-so-far heap (an *approximate*
+    top-k).  ``None`` — the default — keeps the exact traversal, bit
+    identical to exhaustive DAAT.  A truncated run sets
+    ``stats.truncated``.
     """
     if query.mode is not QueryMode.OR:
         raise ValueError("score_block_max_wand supports OR queries only")
@@ -384,11 +392,15 @@ def score_block_max_wand(
     if not cursors:
         return []
 
+    if max_docs_scored is not None and max_docs_scored <= 0:
+        raise ValueError("max_docs_scored must be positive when given")
+
     heap = TopKHeap(query.k)
     doc_lengths = index.doc_lengths
     docs_scored = 0
     pivot_skips = 0
     block_skips = 0
+    truncated = False
 
     while True:
         live = [cursor for cursor in cursors if not cursor.exhausted]
@@ -466,6 +478,11 @@ def score_block_max_wand(
             for cursor in live:
                 if not cursor.exhausted and cursor.current == pivot_doc:
                     cursor.seek(pivot_doc + 1)
+            if max_docs_scored is not None and docs_scored >= max_docs_scored:
+                # Deadline budget exhausted: return the best-so-far
+                # heap instead of finishing the traversal.
+                truncated = True
+                break
         else:
             pivot_skips += 1
             for cursor in live[:pivot_index]:
@@ -475,6 +492,7 @@ def score_block_max_wand(
         stats.docs_scored += docs_scored
         stats.pivot_skips += pivot_skips
         stats.block_skips += block_skips
+        stats.truncated = stats.truncated or truncated
     if metrics is not None:
         metrics.counter("wand.docs_scored").add(docs_scored)
         metrics.counter("wand.pivot_skips").add(pivot_skips)

@@ -78,6 +78,10 @@ class SearchResult:
         index.  Measured as a cache-counter delta around the
         traversal, so concurrent queries on the same shard may shift
         fetches between each other's counts (totals stay exact).
+    truncated:
+        True when a deadline budget (``max_docs_scored``) stopped the
+        traversal early, making the hits approximate; always False on
+        an exact run.
     """
 
     hits: Tuple[SearchHit, ...]
@@ -87,6 +91,7 @@ class SearchResult:
     blocks_skipped: Optional[int] = None
     blocks_fetched: Optional[int] = None
     bytes_read: Optional[int] = None
+    truncated: bool = False
 
     def doc_ids(self) -> List[int]:
         """Doc ids of the hits, best first."""
@@ -149,6 +154,7 @@ class Searcher:
         mode: QueryMode = QueryMode.OR,
         k: int = DEFAULT_TOP_K,
         cancel: Optional[threading.Event] = None,
+        max_docs_scored: Optional[int] = None,
     ) -> SearchResult:
         """Evaluate ``query`` (raw text or pre-parsed) and return results.
 
@@ -156,6 +162,12 @@ class Searcher:
         the traversal starts, the attempt raises :class:`SearchCancelled`
         instead of doing the work (cancel-on-first-winner support for
         hedged fan-outs).
+
+        ``max_docs_scored`` is the deadline scheduler's early-
+        termination depth — honoured by ``block_max_wand`` (which
+        returns the best-so-far heap once the budget is spent) and
+        ignored by the exhaustive/WAND traversals, whose work is not
+        budgetable without changing their result contract.
         """
         if cancel is not None and cancel.is_set():
             raise SearchCancelled(
@@ -179,7 +191,12 @@ class Searcher:
             blocks_skipped = None
         elif self.algorithm == "block_max_wand":
             hits = score_block_max_wand(
-                self.index, query, scorer, metrics=self.metrics, stats=stats
+                self.index,
+                query,
+                scorer,
+                metrics=self.metrics,
+                stats=stats,
+                max_docs_scored=max_docs_scored,
             )
             docs_scored = stats.docs_scored
             blocks_skipped = stats.block_skips
@@ -207,6 +224,7 @@ class Searcher:
             blocks_skipped=blocks_skipped,
             blocks_fetched=blocks_fetched,
             bytes_read=bytes_read,
+            truncated=stats.truncated,
         )
 
     def _make_scorer(self) -> Scorer:
@@ -246,13 +264,22 @@ class ShardSearcher:
         mode: QueryMode = QueryMode.OR,
         k: int = DEFAULT_TOP_K,
         cancel: Optional[threading.Event] = None,
+        max_docs_scored: Optional[int] = None,
     ) -> SearchResult:
         """Search the shard; hits carry global doc ids.
 
         ``cancel`` is forwarded to the underlying searcher; a set token
         raises :class:`SearchCancelled` before the traversal begins.
+        ``max_docs_scored`` is forwarded as the per-shard early-
+        termination depth (Block-Max WAND only).
         """
-        local = self._searcher.search(query, mode=mode, k=k, cancel=cancel)
+        local = self._searcher.search(
+            query,
+            mode=mode,
+            k=k,
+            cancel=cancel,
+            max_docs_scored=max_docs_scored,
+        )
         global_hits = tuple(
             SearchHit(score=hit.score, doc_id=self.shard.to_global(hit.doc_id))
             for hit in local.hits
@@ -265,4 +292,5 @@ class ShardSearcher:
             blocks_skipped=local.blocks_skipped,
             blocks_fetched=local.blocks_fetched,
             bytes_read=local.bytes_read,
+            truncated=local.truncated,
         )

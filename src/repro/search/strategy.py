@@ -84,3 +84,6 @@ class TraversalStats:
     docs_scored: int = 0
     pivot_skips: int = 0
     block_skips: int = 0
+    #: True when a deadline budget stopped the traversal early
+    #: (approximate top-k); always False on an exact run.
+    truncated: bool = False

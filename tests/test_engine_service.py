@@ -85,6 +85,33 @@ class TestSearchService:
             assert entry.title == document.title
             assert entry.snippet.text
 
+    def test_search_page_latency_includes_snippet_rendering(self, service):
+        """Regression: SearchPage.latency_s once reported only the ISN
+        query time, silently excluding snippet/presentation rendering.
+        With rendering made artificially slow, the page latency must
+        reflect it — and always dominate the backing ISN response."""
+        import time
+
+        query = service.query_log[0]
+        baseline = service.search_page(query.text, k=3)
+        assert baseline.latency_s >= baseline.response.latency_s
+
+        real_snippet = service._snippets.snippet
+        delay_s = 0.05
+
+        def slow_snippet(document, terms):
+            time.sleep(delay_s)
+            return real_snippet(document, terms)
+
+        service._snippets.snippet = slow_snippet
+        try:
+            page = service.search_page(query.text, k=3)
+        finally:
+            service._snippets.snippet = real_snippet
+        assert len(page) >= 1
+        assert page.latency_s >= delay_s * len(page)
+        assert page.latency_s > page.response.latency_s
+
     def test_search_phrase_from_real_document(self, service):
         # Take an adjacent pair from a real document; the phrase must
         # find at least that document.

@@ -69,8 +69,10 @@ class ScriptedSearcher:
 
 def _wait_for_cancellations(scripted, count, timeout=5.0):
     """Block until ``count`` scripted losers observed their cancellation."""
-    deadline = time.time() + timeout
-    while scripted.cancelled_attempts < count and time.time() < deadline:
+    # time.monotonic, not time.time: a wall-clock step (NTP, DST) would
+    # stretch or cut the wait window.
+    deadline = time.monotonic() + timeout
+    while scripted.cancelled_attempts < count and time.monotonic() < deadline:
         time.sleep(0.005)
     assert scripted.cancelled_attempts >= count
 
@@ -215,8 +217,8 @@ class TestNativeHedging:
         # The losing primary is still asleep when execute() returns; it
         # observes its cancellation token at the next cancellation
         # point (waking up) and abandons the attempt.
-        deadline = time.time() + 5.0
-        while scripted.cancelled_attempts == 0 and time.time() < deadline:
+        deadline = time.monotonic() + 5.0
+        while scripted.cancelled_attempts == 0 and time.monotonic() < deadline:
             time.sleep(0.005)
         assert scripted.cancelled_attempts == 1
 

@@ -1,0 +1,93 @@
+"""Repo lint: no wall-clock timing in latency or deadline code.
+
+``time.time()`` (and ``datetime.now()``) follow the wall clock, which
+NTP can step forwards or backwards mid-query; a latency measured across
+such a step is silently wrong, and a deadline can fire early, late, or
+never.  Every duration measurement in this repo must use
+``time.perf_counter()`` (highest resolution) or ``time.monotonic()``
+(cheap, step-free) instead.
+
+Audit record (2026-08): the sweep found wall-clock timing only in
+``tests/test_hedging.py`` (two spin-wait loops, both converted to
+``time.monotonic()``); ``src/`` and ``benchmarks/`` were already clean
+— ``engine/isn.py``'s 35 timing sites all use ``perf_counter``.  This
+test pins that state.
+
+Scope: ``src/``, ``benchmarks/``, and ``tests/`` (a flaky test that
+trusts the wall clock is still a bug).  Legitimate wall-clock use —
+timestamps for display or log records, not durations — may be exempted
+by adding ``# wallclock: ok`` on the offending line.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCANNED_DIRS = ("src", "benchmarks", "tests")
+
+#: Wall-clock reads that must never time a latency or deadline.
+_FORBIDDEN = re.compile(
+    r"""
+    \btime\.time\(\)
+    | \bdatetime\.now\(
+    | \bdatetime\.utcnow\(
+    | \bdatetime\.datetime\.now\(
+    """,
+    re.VERBOSE,
+)
+
+_EXEMPT_MARKER = "# wallclock: ok"
+
+
+def _violations():
+    found = []
+    for directory in SCANNED_DIRS:
+        for path in sorted((REPO_ROOT / directory).rglob("*.py")):
+            if path.name == Path(__file__).name:
+                continue  # this file quotes the forbidden patterns
+            for number, line in enumerate(
+                path.read_text().splitlines(), start=1
+            ):
+                if _EXEMPT_MARKER in line:
+                    continue
+                stripped = line.split("#", 1)[0]
+                if _FORBIDDEN.search(stripped):
+                    found.append(
+                        f"{path.relative_to(REPO_ROOT)}:{number}: "
+                        f"{line.strip()}"
+                    )
+    return found
+
+
+def test_no_wallclock_in_timing_code():
+    violations = _violations()
+    assert not violations, (
+        "wall-clock timing calls found — use time.perf_counter() or "
+        "time.monotonic() for durations/deadlines, or append "
+        f"'{_EXEMPT_MARKER}' for a genuine timestamp:\n"
+        + "\n".join(violations)
+    )
+
+
+def test_lint_actually_detects(tmp_path, monkeypatch):
+    """The lint is live: a planted violation is caught, an exempted or
+    commented one is not."""
+    planted = tmp_path / "src"
+    planted.mkdir()
+    (planted / "bad.py").write_text(
+        "import time\n"
+        "start = time.time()\n"
+        "stamp = time.time()  # wallclock: ok\n"
+        "# time.time() in a comment is fine\n"
+    )
+    monkeypatch.setattr(
+        "tests.test_no_wallclock_latency.REPO_ROOT", tmp_path
+    )
+    monkeypatch.setattr(
+        "tests.test_no_wallclock_latency.SCANNED_DIRS", ("src",)
+    )
+    violations = _violations()
+    assert len(violations) == 1
+    assert "bad.py:2" in violations[0]
